@@ -1,0 +1,122 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.  A
+bench does three things:
+
+1. runs the algorithms via :func:`run_algorithm` (collecting wall time,
+   shuffle volume and simulated cluster times under both calibrations of
+   :mod:`repro.analysis.calibration`);
+2. registers its rows with :func:`record_table`, which persists them under
+   ``benchmarks/results/`` and queues them for the terminal summary (the
+   conftest prints every registered table after pytest's own output, so
+   the paper-shaped rows are visible in the default captured run);
+3. asserts the *shape* the paper reports (who wins, monotonicity), never
+   absolute numbers.
+
+Corpora are miniature synthetic stand-ins (see DESIGN.md §1); sizes are
+chosen so the full bench suite completes in minutes.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.calibration import MEASURED, PAPER_SCALE
+from repro.analysis.figures import render_series
+from repro.analysis.report import format_table
+from repro.data import make_corpus
+from repro.data.records import RecordCollection
+from repro.errors import ExecutionError
+from repro.mapreduce.pipeline import PipelineResult
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tables queued for the terminal summary, in registration order.
+_REGISTERED: List[str] = []
+
+#: Session-level corpus cache (corpus name, size, seed) → records.
+_CORPUS_CACHE: Dict[tuple, RecordCollection] = {}
+
+#: Default cluster shape: the paper's 10 workers × 3 reduce slots.
+DEFAULT_CLUSTER = ClusterSpec(workers=10)
+
+
+def corpus(name: str, n_records: int, seed: int = 7) -> RecordCollection:
+    """Cached synthetic corpus (generation is the slow part of small benches)."""
+    key = (name, n_records, seed)
+    if key not in _CORPUS_CACHE:
+        _CORPUS_CACHE[key] = make_corpus(name, n_records, seed=seed)
+    return _CORPUS_CACHE[key]
+
+
+def run_algorithm(algorithm, records: RecordCollection) -> Dict[str, Any]:
+    """Run one join algorithm and collect the standard measurement row.
+
+    Returns a dict with wall seconds, result count, shuffle MB and the
+    simulated total seconds under both calibrations.  A budget-guarded DNF
+    (the paper's "cannot run successfully") is reported as a row with
+    ``dnf`` set and no timings.
+    """
+    name = getattr(algorithm, "algorithm_name", type(algorithm).__name__)
+    started = time.perf_counter()
+    try:
+        result = algorithm.run(records)
+    except ExecutionError as exc:
+        return {
+            "algorithm": name,
+            "dnf": True,
+            "reason": str(exc).split(";")[-1].strip(),
+        }
+    wall = time.perf_counter() - started
+    return {
+        "algorithm": name,
+        "dnf": False,
+        "wall_s": wall,
+        "results": len(result.pairs),
+        "shuffle_mb": result.total_shuffle_bytes() / 1e6,
+        "sim_measured_s": result.simulated_time(DEFAULT_CLUSTER, MEASURED).total_s,
+        "sim_paper_s": result.simulated_time(DEFAULT_CLUSTER, PAPER_SCALE).total_s,
+        "_result": result,
+    }
+
+
+def strip_private(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop underscore-prefixed entries (objects) before rendering."""
+    return {k: v for k, v in row.items() if not k.startswith("_")}
+
+
+def record_table(
+    name: str,
+    rows: Sequence[Dict[str, Any]],
+    title: str,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render, persist and queue one result table; returns the text."""
+    text = format_table([strip_private(r) for r in rows], title=title, columns=columns)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _REGISTERED.append(text)
+    return text
+
+
+def record_figure(
+    name: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str,
+    y_label: str = "s",
+) -> str:
+    """Render, persist and queue one ASCII figure; returns the text."""
+    text = render_series(x_values, series, title=title, y_label=y_label)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _REGISTERED.append(text)
+    return text
+
+
+def registered_tables() -> List[str]:
+    """All tables recorded this session (consumed by the conftest summary)."""
+    return list(_REGISTERED)

@@ -1,0 +1,52 @@
+"""Extension: end-to-end joins under Dice and Cosine.
+
+The paper states the verification rules for Jaccard, Dice and Cosine
+(Section V-B) but evaluates Jaccard only.  This bench runs the full
+pipeline under all three functions at the same θ and checks the containment
+structure the threshold algebra implies: for sets, ``J ≤ D ≤ C``, so at a
+fixed θ the Jaccard result set is contained in Dice's, which is contained
+in Cosine's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import DEFAULT_CLUSTER, corpus, record_table, run_algorithm
+from repro.core import FSJoin, FSJoinConfig
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.similarity.functions import SimilarityFunction
+
+THETA = 0.8
+SIZES = {"pubmed": 400, "wiki": 400}
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+def test_ext_similarity_functions(benchmark, name):
+    cluster = SimulatedCluster(DEFAULT_CLUSTER)
+    records = corpus(name, SIZES[name])
+
+    def sweep():
+        rows = []
+        for func in SimilarityFunction:
+            algorithm = FSJoin(
+                FSJoinConfig(theta=THETA, func=func, n_vertical=30), cluster
+            )
+            row = run_algorithm(algorithm, records)
+            row.update({"dataset": name, "func": func.value})
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        f"ext_functions_{name}",
+        rows,
+        f"Extension ({name}) — similarity functions at θ={THETA}",
+        columns=["dataset", "func", "wall_s", "shuffle_mb", "results"],
+    )
+
+    by_func = {row["func"]: row["_result"].result_set() for row in rows}
+    # J ≤ D ≤ C pointwise ⇒ result sets nest at a fixed threshold.
+    assert by_func["jaccard"] <= by_func["dice"] <= by_func["cosine"]
+    counts = {row["func"]: row["results"] for row in rows}
+    assert counts["jaccard"] <= counts["dice"] <= counts["cosine"]

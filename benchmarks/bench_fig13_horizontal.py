@@ -1,0 +1,74 @@
+"""Figure 13: FS-Join vs FS-Join-V (the effect of horizontal partitioning).
+
+Paper setup: 30 vertical partitions everywhere; horizontal partitions per
+dataset (10 for Email, 50 for Wiki, 70 for PubMed); FS-Join beats FS-Join-V
+across thresholds because smaller sections avoid spill/latency effects and
+cut the per-reducer join cost.
+
+Shapes asserted: identical results; FS-Join's fragment-join CPU is lower
+than FS-Join-V's wherever the pivot selector retains at least one sound
+length pivot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import DEFAULT_CLUSTER, corpus, record_table, run_algorithm
+from repro.core import FSJoin, FSJoinConfig
+from repro.mapreduce.runtime import SimulatedCluster
+
+#: Paper's horizontal partition counts per dataset.
+HORIZONTAL = {"email": 10, "pubmed": 70, "wiki": 50}
+SIZES = {"email": 300, "pubmed": 500, "wiki": 500}
+THETAS = (0.8, 0.9)
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig13_horizontal_effect(benchmark, name):
+    cluster = SimulatedCluster(DEFAULT_CLUSTER)
+    records = corpus(name, SIZES[name])
+
+    def sweep():
+        rows = []
+        for theta in THETAS:
+            for n_horizontal, label in ((1, "FS-Join-V"), (HORIZONTAL[name], "FS-Join")):
+                algorithm = FSJoin(
+                    FSJoinConfig(
+                        theta=theta, n_vertical=30, n_horizontal=n_horizontal
+                    ),
+                    cluster,
+                )
+                row = run_algorithm(algorithm, records)
+                metrics = row["_result"].job_results[1].metrics
+                row.update(
+                    {
+                        "dataset": name,
+                        "theta": theta,
+                        "join_cpu_s": sum(
+                            t.compute_seconds for t in metrics.reduce_tasks
+                        ),
+                    }
+                )
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        f"fig13_{name}",
+        rows,
+        f"Fig 13 ({name}) — horizontal partitioning effect",
+        columns=[
+            "dataset", "theta", "algorithm", "wall_s",
+            "join_cpu_s", "shuffle_mb", "results",
+        ],
+    )
+
+    for theta in THETAS:
+        per_theta = {r["algorithm"]: r for r in rows if r["theta"] == theta}
+        assert per_theta["FS-Join"]["results"] == per_theta["FS-Join-V"]["results"]
+        # Sections cut the quadratic fragment-join cost.
+        assert (
+            per_theta["FS-Join"]["join_cpu_s"]
+            < per_theta["FS-Join-V"]["join_cpu_s"] * 1.05
+        )

@@ -1,0 +1,90 @@
+"""Figure 7: runtime vs threshold on the "small" datasets, all algorithms.
+
+Paper setup: random samples small enough that MassJoin and V-Smart-Join
+complete, so all five techniques can be compared end-to-end.  Observations
+the paper makes and this bench asserts:
+
+* every completing algorithm returns the same results;
+* V-Smart-Join's cost is insensitive to θ (threshold applied only at the
+  very end);
+* MassJoin Merge+Light emits fewer signatures than Merge;
+* MassJoin's cost collapses as θ → 1 while V-Smart's does not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import DEFAULT_CLUSTER, corpus, record_table, run_algorithm
+from repro.baselines import MassJoin, RIDPairsPPJoin, VSmartJoin
+from repro.core import FSJoin, FSJoinConfig
+from repro.mapreduce.runtime import SimulatedCluster
+
+THETAS = (0.75, 0.95)
+SIZES = {"email": 120, "pubmed": 150, "wiki": 150}
+
+
+def _algorithms(theta, cluster):
+    return [
+        FSJoin(FSJoinConfig(theta=theta, n_vertical=30, n_horizontal=5), cluster),
+        RIDPairsPPJoin(theta, cluster=cluster),
+        VSmartJoin(theta, cluster=cluster, max_intermediate_pairs=None),
+        MassJoin(theta, cluster=cluster, max_signatures=None),
+        MassJoin(
+            theta, cluster=cluster, variant="merge+light", max_signatures=None
+        ),
+    ]
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig7_small_datasets(benchmark, name):
+    cluster = SimulatedCluster(DEFAULT_CLUSTER)
+    records = corpus(name, SIZES[name])
+
+    def sweep():
+        rows = []
+        for theta in THETAS:
+            for algorithm in _algorithms(theta, cluster):
+                rows.append(
+                    {"dataset": name, "theta": theta,
+                     **run_algorithm(algorithm, records)}
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        f"fig7_{name}",
+        rows,
+        f"Fig 7 ({name}) — all five algorithms, small dataset",
+        columns=[
+            "dataset", "theta", "algorithm", "wall_s",
+            "sim_paper_s", "shuffle_mb", "results",
+        ],
+    )
+
+    by_key = {(r["theta"], r["algorithm"]): r for r in rows}
+    # All five complete on small data and agree on results.
+    for theta in THETAS:
+        counts = {
+            r["algorithm"]: r["results"] for r in rows if r["theta"] == theta
+        }
+        assert not any(r["dnf"] for r in rows if r["theta"] == theta)
+        assert len(set(counts.values())) == 1, counts
+
+    # V-Smart's intermediate volume is θ-insensitive.
+    vsmart_shuffles = {
+        round(by_key[(theta, "V-Smart-Join")]["shuffle_mb"], 6) for theta in THETAS
+    }
+    assert len(vsmart_shuffles) == 1
+
+    # Merge+Light shuffles less than Merge (the point of the Light filter).
+    for theta in THETAS:
+        merge = by_key[(theta, "MassJoin-Merge")]
+        light = by_key[(theta, "MassJoin-Merge+Light")]
+        assert light["shuffle_mb"] < merge["shuffle_mb"]
+
+    # MassJoin's signature count collapses as θ → 1; V-Smart's cost does not.
+    assert (
+        by_key[(0.95, "MassJoin-Merge")]["shuffle_mb"]
+        < by_key[(0.75, "MassJoin-Merge")]["shuffle_mb"]
+    )

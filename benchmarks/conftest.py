@@ -1,0 +1,30 @@
+"""Benchmark-suite conftest: print every recorded result table at the end.
+
+pytest captures stdout during test execution, so the paper-shaped tables the
+benches build would be invisible in a default run; the terminal summary is
+not captured, so printing them here makes ``pytest benchmarks/
+--benchmark-only`` show every regenerated table/figure alongside
+pytest-benchmark's own timing table.  The same tables are persisted under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import registered_tables  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = registered_tables()
+    if not tables:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "paper tables & figures (regenerated)")
+    for table in tables:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Tuning FS-Join: pivots, join methods and partition counts.
+
+Walks the paper's Section VI ablations on one corpus: pivot selection
+(Fig. 11), per-fragment join method (Fig. 12), and the vertical/horizontal
+partition counts (Figs. 10/13), printing how each knob moves load balance
+and cost while never changing the answers.
+
+Run:  python examples/cluster_tuning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ClusterSpec, FSJoin, FSJoinConfig, SimulatedCluster
+from repro.analysis.loadbalance import load_balance_report
+from repro.analysis.report import format_table
+from repro.core import JoinMethod, PivotMethod
+from repro.data import make_corpus
+
+THETA = 0.8
+
+
+def run_config(records, cluster, **kwargs):
+    config = FSJoinConfig(theta=THETA, **kwargs)
+    started = time.perf_counter()
+    result = FSJoin(config, cluster).run(records)
+    wall = time.perf_counter() - started
+    balance = load_balance_report(result.job_results[1].metrics)
+    return result, wall, balance
+
+
+def main() -> None:
+    records = make_corpus("wiki", 300, seed=21)
+    cluster = SimulatedCluster(ClusterSpec(workers=10))
+
+    # --- pivot selection (Fig. 11) -----------------------------------
+    rows = []
+    for method in PivotMethod:
+        result, wall, balance = run_config(
+            records, cluster, n_vertical=30, pivot_method=method
+        )
+        rows.append(
+            {
+                "pivots": str(method),
+                "wall_s": round(wall, 2),
+                "reduce_cv": round(balance.cv, 3),
+                "straggler": round(balance.max_over_mean, 2),
+                "results": len(result.pairs),
+            }
+        )
+    print(format_table(rows, title="pivot selection (paper Fig. 11)"))
+
+    # --- join method (Fig. 12) ---------------------------------------
+    rows = []
+    for method in JoinMethod:
+        result, wall, _ = run_config(
+            records, cluster, n_vertical=30, join_method=method
+        )
+        pairs = result.counters().get("fsjoin.filter", "pairs_considered")
+        rows.append(
+            {
+                "join": str(method),
+                "wall_s": round(wall, 2),
+                "pairs_considered": pairs,
+                "results": len(result.pairs),
+            }
+        )
+    print()
+    print(format_table(rows, title="per-fragment join method (paper Fig. 12)"))
+
+    # --- partitioning (Figs. 10/13) -----------------------------------
+    rows = []
+    for n_vertical, n_horizontal in [(10, 1), (30, 1), (30, 6), (60, 6)]:
+        result, wall, balance = run_config(
+            records, cluster, n_vertical=n_vertical, n_horizontal=n_horizontal
+        )
+        rows.append(
+            {
+                "vertical": n_vertical,
+                "horizontal": n_horizontal,
+                "wall_s": round(wall, 2),
+                "shuffle_kb": round(result.total_shuffle_bytes() / 1e3, 1),
+                "reduce_cv": round(balance.cv, 3),
+                "results": len(result.pairs),
+            }
+        )
+    print()
+    print(format_table(rows, title="partition counts (paper Figs. 10/13)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Near-duplicate detection on an email-like corpus.
+
+The paper's motivating applications include duplicate detection and data
+cleaning.  This example mimics that workload: an Enron-like corpus of long,
+heavy-tailed messages with planted near-duplicates (forwarded/quoted
+copies), joined at several thresholds to show how the threshold trades
+recall for cost — and how FS-Join's horizontal partitioning keeps long and
+short messages from being compared at all.
+
+Run:  python examples/email_deduplication.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterSpec, FSJoin, FSJoinConfig, SimilarityFunction, SimulatedCluster
+from repro.data import make_corpus
+
+
+def main() -> None:
+    # Long messages, extreme length tail, 25% near-duplicates with light
+    # mutation (quoted replies keep most of the original tokens).
+    records = make_corpus(
+        "email", 250, seed=11, duplicate_fraction=0.25, mutation_rate=0.08
+    )
+    lengths = sorted(record.size for record in records)
+    print(
+        f"corpus: {len(records)} messages, lengths "
+        f"{lengths[0]}..{lengths[-1]} (median {lengths[len(lengths)//2]})"
+    )
+
+    cluster = SimulatedCluster(ClusterSpec(workers=10))
+
+    print(f"\n{'theta':>6}  {'pairs':>6}  {'candidates':>10}  {'shuffle kB':>10}")
+    for theta in (0.9, 0.8, 0.7, 0.6):
+        config = FSJoinConfig(
+            theta=theta,
+            func=SimilarityFunction.JACCARD,
+            n_vertical=30,
+            n_horizontal=8,  # length-based sections: long vs short mail
+        )
+        result = FSJoin(config, cluster).run(records)
+        candidates = result.counters().get("fsjoin.verify", "candidates")
+        print(
+            f"{theta:>6}  {len(result.pairs):>6}  {candidates:>10}  "
+            f"{result.total_shuffle_bytes()/1e3:>10.1f}"
+        )
+
+    # Show one duplicate cluster at the strictest threshold.
+    result = FSJoin(
+        FSJoinConfig(theta=0.9, n_vertical=30, n_horizontal=8), cluster
+    ).run(records)
+    if result.pairs:
+        (rid_a, rid_b), score = max(
+            result.result_pairs.items(), key=lambda item: item[1]
+        )
+        a, b = records.get(rid_a), records.get(rid_b)
+        shared = len(a.token_set() & b.token_set())
+        print(
+            f"\nclosest pair: messages {rid_a} and {rid_b} "
+            f"(jaccard {score:.3f}, {shared} shared tokens of "
+            f"{a.size}/{b.size})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""FS-Join reproduction: fast and scalable distributed set similarity joins.
+
+Reproduction of Rong et al., "Fast and Scalable Distributed Set Similarity
+Joins for Big Data Analytics" (ICDE 2017).  See README.md for a tour and
+DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import FSJoin, FSJoinConfig, make_corpus
+
+    records = make_corpus("wiki", 500, seed=7)
+    result = FSJoin(FSJoinConfig(theta=0.8)).run(records)
+    for (rid_a, rid_b), score in sorted(result.result_pairs.items()):
+        print(rid_a, rid_b, round(score, 3))
+"""
+
+from repro.core import FSJoin, FSJoinConfig, FilterConfig, JoinMethod, PivotMethod
+from repro.data import Record, RecordCollection, load_records, make_corpus, save_records
+from repro.mapreduce import ClusterSpec, CostModel, SimulatedCluster
+from repro.similarity import SimilarityFunction, cosine, dice, jaccard
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FSJoin",
+    "FSJoinConfig",
+    "FilterConfig",
+    "JoinMethod",
+    "PivotMethod",
+    "Record",
+    "RecordCollection",
+    "load_records",
+    "save_records",
+    "make_corpus",
+    "ClusterSpec",
+    "SimulatedCluster",
+    "CostModel",
+    "SimilarityFunction",
+    "jaccard",
+    "dice",
+    "cosine",
+    "__version__",
+]

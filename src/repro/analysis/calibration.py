@@ -1,0 +1,43 @@
+"""Cost-model calibrations for replaying the paper's cluster economics.
+
+The repo executes miniature datasets (hundreds to thousands of records) in
+pure Python; the paper ran multi-GB corpora on a 10-worker Hadoop/EC2
+cluster.  Two calibrations bridge the gap:
+
+* :data:`MEASURED` — the identity calibration: measured Python task times,
+  paper-era cluster constants.  Honest about what this machine did; at
+  miniature scale per-job startup latency dominates every comparison.
+
+* :data:`PAPER_SCALE` — extrapolates the miniature run to paper scale:
+
+  - ``compute_scale = 0.03``: CPython is roughly 30× slower than the JVM
+    code the paper ran, so measured task seconds overstate cluster compute
+    by that factor;
+  - shuffle/DFS bandwidth divided by :data:`SCALE_RATIO` (≈ 1000): the
+    paper's inputs are about three orders of magnitude larger than the
+    bench corpora, and shuffle volume grows at least linearly in input
+    size, so a miniature byte stands in for ~1000 real bytes.
+
+  Under this calibration the quantities the paper's comparisons hinge on —
+  duplication-driven shuffle volume, number of jobs, reduce-load skew —
+  regain their paper-scale weight relative to raw compute.  Every bench
+  reports measured wall-clock *and* both simulated times, so readers can
+  see the raw data behind the extrapolation.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.costmodel import CostModel
+
+#: Miniature-corpus to paper-corpus size ratio used by the extrapolation.
+SCALE_RATIO = 1000.0
+
+#: Identity calibration: measured Python seconds, paper-era cluster constants.
+MEASURED = CostModel()
+
+#: Paper-scale extrapolation (see module docstring).
+PAPER_SCALE = CostModel(
+    compute_scale=0.03,
+    shuffle_bandwidth_per_worker=CostModel().shuffle_bandwidth_per_worker / SCALE_RATIO,
+    dfs_bandwidth_per_worker=CostModel().dfs_bandwidth_per_worker / SCALE_RATIO,
+)

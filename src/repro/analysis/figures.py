@@ -1,0 +1,100 @@
+"""ASCII line charts for the figure benchmarks.
+
+The paper's evaluation is mostly line plots (runtime vs threshold, vs
+scale, vs node count).  ``render_series`` draws a small multi-series ASCII
+chart so the bench output resembles the figure it regenerates, alongside
+the exact numbers in the accompanying table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+Series = Dict[str, Sequence[float]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_series(
+    x_values: Sequence,
+    series: Series,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values as an ASCII chart.
+
+    Args:
+        x_values: Shared x axis (printed under the chart).
+        series: Name → y values (each the same length as ``x_values``).
+        title: Chart heading.
+        width/height: Plot-area size in characters.
+        y_label: Unit label shown on the y-axis extremes.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigError(f"series {name!r} length != x_values length")
+    if width < 8 or height < 3:
+        raise ConfigError("chart too small")
+
+    all_ys = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_ys), max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    n_points = len(x_values)
+
+    def column(point_index: int) -> int:
+        if n_points == 1:
+            return width // 2
+        return round(point_index * (width - 1) / (n_points - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_min) * (height - 1) / (y_max - y_min))
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        previous: Optional[Tuple[int, int]] = None
+        for point_index, y in enumerate(ys):
+            r, c = row(y), column(point_index)
+            if previous is not None:
+                _draw_line(grid, previous, (r, c))
+            previous = (r, c)
+        # Markers drawn last so they sit on top of connecting lines.
+        for point_index, y in enumerate(ys):
+            grid[row(y)][column(point_index)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g} {y_label}".rstrip()
+    bottom_label = f"{y_min:.3g} {y_label}".rstrip()
+    gutter = max(len(top_label), len(bottom_label))
+    for r in range(height):
+        prefix = top_label if r == 0 else bottom_label if r == height - 1 else ""
+        lines.append(f"{prefix:>{gutter}} |" + "".join(grid[r]))
+    lines.append(" " * gutter + " +" + "-" * width)
+    first, last = str(x_values[0]), str(x_values[-1])
+    axis = first + " " * max(1, width - len(first) - len(last)) + last
+    lines.append(" " * gutter + "  " + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def _draw_line(grid: List[List[str]], start: Tuple[int, int], end: Tuple[int, int]) -> None:
+    """Draw a simple interpolated segment with '.' between two points."""
+    (r0, c0), (r1, c1) = start, end
+    steps = max(abs(r1 - r0), abs(c1 - c0))
+    for step in range(1, steps):
+        r = round(r0 + (r1 - r0) * step / steps)
+        c = round(c0 + (c1 - c0) * step / steps)
+        if grid[r][c] == " ":
+            grid[r][c] = "."

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for bench output.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; this module keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, else the first row's key
+    order.  Missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells: List[List[str]] = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,54 @@
+"""Recall/precision scoring of approximate joins against exact results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ApproxQuality:
+    """Set-level quality of an approximate result against the exact one."""
+
+    true_pairs: int
+    reported_pairs: int
+    correct_pairs: int
+
+    @property
+    def recall(self) -> float:
+        return self.correct_pairs / self.true_pairs if self.true_pairs else 1.0
+
+    @property
+    def precision(self) -> float:
+        return (
+            self.correct_pairs / self.reported_pairs if self.reported_pairs else 1.0
+        )
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "true": self.true_pairs,
+            "reported": self.reported_pairs,
+            "recall": round(self.recall, 4),
+            "precision": round(self.precision, 4),
+            "f1": round(self.f1, 4),
+        }
+
+
+def evaluate_approximate(
+    reported: Iterable[Pair], truth: Iterable[Pair]
+) -> ApproxQuality:
+    """Score reported id pairs against the exact join's id pairs."""
+    reported_set = set(reported)
+    truth_set = set(truth)
+    return ApproxQuality(
+        true_pairs=len(truth_set),
+        reported_pairs=len(reported_set),
+        correct_pairs=len(reported_set & truth_set),
+    )

@@ -1,0 +1,51 @@
+"""Exact all-pairs self-join — the test oracle.
+
+Quadratic and intentionally simple: every pair's similarity is computed
+directly from the token sets.  Used by the test suite (and nothing else) to
+validate every distributed algorithm's result set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.data.records import RecordCollection
+from repro.similarity.functions import SimilarityFunction, get_similarity_function
+from repro.similarity.thresholds import EPS
+
+
+def naive_self_join(
+    records: RecordCollection,
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+) -> Dict[Tuple[int, int], float]:
+    """All similar pairs ``(rid_small, rid_large) → score`` with ``score ≥ θ``."""
+    similarity = get_similarity_function(func)
+    token_sets = [(record.rid, record.token_set()) for record in records]
+    results: Dict[Tuple[int, int], float] = {}
+    for i, (rid_a, set_a) in enumerate(token_sets):
+        for rid_b, set_b in token_sets[i + 1 :]:
+            score = similarity(set_a, set_b)
+            if score + EPS >= theta:
+                key = (rid_a, rid_b) if rid_a < rid_b else (rid_b, rid_a)
+                results[key] = score
+    return results
+
+
+def naive_rs_join(
+    left: RecordCollection,
+    right: RecordCollection,
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+) -> Dict[Tuple[int, int], float]:
+    """All cross-collection pairs ``(rid_left, rid_right) → score ≥ θ``."""
+    similarity = get_similarity_function(func)
+    right_sets = [(record.rid, record.token_set()) for record in right]
+    results: Dict[Tuple[int, int], float] = {}
+    for record in left:
+        set_l = record.token_set()
+        for rid_r, set_r in right_sets:
+            score = similarity(set_l, set_r)
+            if score + EPS >= theta:
+                results[(record.rid, rid_r)] = score
+    return results

@@ -1,0 +1,200 @@
+"""In-memory PPJoin and PPJoin+ (prefix + length + positional + suffix filtering).
+
+PPJoin [Xiao et al.] is the centralized kernel RIDPairsPPJoin runs inside
+its reducers, and an independent oracle for the test suite.  Records are
+processed in ascending size order; each record probes an inverted index
+over the *prefixes* of previously seen records, with the positional filter
+pruning candidates whose best-case remaining overlap cannot reach the
+required overlap ``τ``.
+
+PPJoin+ adds the *suffix filter*: before verifying a candidate pair it
+computes a cheap lower bound on the pair's Hamming distance by recursively
+partitioning the token arrays around probe tokens; candidates whose bound
+exceeds the budget ``|x| + |y| − 2τ`` are provably dissimilar and skipped
+without a full intersection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.records import RecordCollection
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import (
+    length_lower_bound,
+    passes_threshold,
+    prefix_length,
+    required_overlap,
+    similarity_from_overlap,
+)
+from repro.similarity.verify import intersection_size
+
+EncodedRecord = Tuple[int, Tuple[int, ...]]  # (rid, strictly increasing ranks)
+
+
+@dataclass
+class JoinStats:
+    """Work counters of one in-memory join (for the filter-power bench)."""
+
+    probe_hits: int = 0
+    candidates: int = 0
+    suffix_pruned: int = 0
+    verifications: int = 0
+    results: int = 0
+
+
+def encode_by_frequency(records: RecordCollection) -> List[EncodedRecord]:
+    """Rank-encode records by ascending token frequency (rarest = rank 0)."""
+    frequencies: Counter = Counter()
+    for record in records:
+        frequencies.update(record.tokens)
+    rank = {
+        token: index
+        for index, (token, _) in enumerate(
+            sorted(frequencies.items(), key=lambda item: (item[1], item[0]))
+        )
+    }
+    return [
+        (record.rid, tuple(sorted(rank[token] for token in record.tokens)))
+        for record in records
+    ]
+
+
+#: Recursion cutoff for the suffix filter (as in the PPJoin+ paper, shallow
+#: depths already remove most false candidates).
+_SUFFIX_MAX_DEPTH = 3
+
+
+def suffix_hamming_lower_bound(
+    x: Sequence[int], y: Sequence[int], budget: int, depth: int = 0
+) -> int:
+    """Lower bound on the Hamming distance ``|x Δ y|`` of two sorted arrays.
+
+    Recursively partitions both arrays around ``y``'s middle token: tokens
+    of one side can only match tokens of the same side, so the distances of
+    the halves add (plus one if the probe token is missing from ``x``).
+    Returns early once the bound exceeds ``budget``.  Never overestimates,
+    so pruning on it is safe.
+    """
+    if not x or not y or depth >= _SUFFIX_MAX_DEPTH:
+        return abs(len(x) - len(y))
+    mid = len(y) // 2
+    token = y[mid]
+    y_left, y_right = y[:mid], y[mid + 1 :]
+    position = bisect.bisect_left(x, token)
+    found = position < len(x) and x[position] == token
+    x_left = x[:position]
+    x_right = x[position + 1 :] if found else x[position:]
+    miss = 0 if found else 1
+    bound = abs(len(x_left) - len(y_left)) + abs(len(x_right) - len(y_right)) + miss
+    if bound > budget:
+        return bound
+    left = suffix_hamming_lower_bound(
+        x_left, y_left, budget - abs(len(x_right) - len(y_right)) - miss, depth + 1
+    )
+    bound = left + abs(len(x_right) - len(y_right)) + miss
+    if bound > budget:
+        return bound
+    right = suffix_hamming_lower_bound(
+        x_right, y_right, budget - left - miss, depth + 1
+    )
+    return left + right + miss
+
+
+def ppjoin(
+    encoded: Sequence[EncodedRecord],
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    use_suffix_filter: bool = False,
+    stats: Optional[JoinStats] = None,
+) -> Dict[Tuple[int, int], float]:
+    """PPJoin (or PPJoin+ with ``use_suffix_filter``) self-join.
+
+    Returns ``(rid_small, rid_large) → score`` for every pair with
+    ``sim ≥ θ``.  The encoding must be shared (one global ordering) and
+    each record's ranks strictly increasing.  ``stats`` collects work
+    counters when provided.
+    """
+    func = SimilarityFunction(func)
+    items = sorted(encoded, key=lambda item: (len(item[1]), item[0]))
+    # token -> list of (item index, position in that record's prefix)
+    index: Dict[int, List[Tuple[int, int]]] = {}
+    results: Dict[Tuple[int, int], float] = {}
+    for item_index, (rid, tokens) in enumerate(items):
+        size = len(tokens)
+        if size == 0:
+            continue
+        probe_len = min(size, prefix_length(func, theta, size))
+        min_partner = length_lower_bound(func, theta, size)
+        overlaps: Dict[int, int] = {}
+        pruned: set = set()
+        for position in range(probe_len):
+            token = tokens[position]
+            for other_index, other_position in index.get(token, ()):
+                if other_index in pruned:
+                    continue
+                if stats is not None:
+                    stats.probe_hits += 1
+                other_rid, other_tokens = items[other_index]
+                other_size = len(other_tokens)
+                if other_size < min_partner:
+                    continue
+                tau = required_overlap(func, theta, size, other_size)
+                current = overlaps.get(other_index, 0)
+                # Positional filter: best case = matches so far + this match
+                # + everything after both positions.
+                best_case = current + 1 + min(
+                    size - position - 1, other_size - other_position - 1
+                )
+                if best_case >= tau:
+                    overlaps[other_index] = current + 1
+                else:
+                    pruned.add(other_index)
+                    overlaps.pop(other_index, None)
+        for other_index in overlaps:
+            other_rid, other_tokens = items[other_index]
+            other_size = len(other_tokens)
+            if stats is not None:
+                stats.candidates += 1
+            if use_suffix_filter:
+                tau = required_overlap(func, theta, size, other_size)
+                budget = size + other_size - 2 * tau
+                if suffix_hamming_lower_bound(tokens, other_tokens, budget) > budget:
+                    if stats is not None:
+                        stats.suffix_pruned += 1
+                    continue
+            if stats is not None:
+                stats.verifications += 1
+            common = intersection_size(tokens, other_tokens, sorted_input=True)
+            if passes_threshold(func, theta, common, size, other_size):
+                key = (rid, other_rid) if rid < other_rid else (other_rid, rid)
+                results[key] = similarity_from_overlap(
+                    func, common, size, other_size
+                )
+                if stats is not None:
+                    stats.results += 1
+        for position in range(probe_len):
+            index.setdefault(tokens[position], []).append((item_index, position))
+    return results
+
+
+def ppjoin_plus(
+    encoded: Sequence[EncodedRecord],
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    stats: Optional[JoinStats] = None,
+) -> Dict[Tuple[int, int], float]:
+    """PPJoin+ : PPJoin with the suffix filter enabled."""
+    return ppjoin(encoded, theta, func, use_suffix_filter=True, stats=stats)
+
+
+def ppjoin_self_join(
+    records: RecordCollection,
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+) -> Dict[Tuple[int, int], float]:
+    """Convenience wrapper: frequency-encode then PPJoin."""
+    return ppjoin(encode_by_frequency(records), theta, func)

@@ -1,0 +1,126 @@
+"""V-Smart-Join, Online-Aggregation variant [Metwally & Faloutsos — ref 13].
+
+Two phases, as described in Section II-C of the paper:
+
+* **Join** — map emits *every* token of every record as a key (building,
+  in effect, a full inverted index on the cluster); each reducer
+  enumerates all pairs in its token's posting list and emits partial
+  counts.  No filtering is applied anywhere.
+* **Similarity** — aggregate the per-token partial counts of each pair and
+  apply the threshold only at the very end (which is why the paper observes
+  its runtime is insensitive to ``θ``).
+
+The pair enumeration is quadratic in each token's frequency, so frequent
+tokens blow the intermediate output up; the paper reports it "cannot run
+completely" on the large datasets.  ``max_intermediate_pairs`` reproduces
+that behaviour: the driver estimates the enumeration volume up front and
+raises :class:`~repro.errors.ExecutionError` when it exceeds the budget
+(benches report this as DNF).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.data.records import Record, RecordCollection
+from repro.errors import ExecutionError
+from repro.mapreduce.job import JobContext, MapReduceJob
+from repro.mapreduce.pipeline import PipelineResult
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import passes_threshold, similarity_from_overlap
+
+Posting = Tuple[int, int]  # (rid, record size)
+
+
+class _JoinPhaseJob(MapReduceJob):
+    """Token → posting list → all-pairs partial counts."""
+
+    name = "vsmart-join"
+
+    def map(self, key: int, value: Record, emit, context: JobContext) -> None:
+        size = value.size
+        for token in value.tokens:
+            emit(token, (value.rid, size))
+
+    def reduce(
+        self, key: str, values: List[Posting], emit, context: JobContext
+    ) -> None:
+        values = sorted(values)
+        for i, (rid_a, size_a) in enumerate(values):
+            for rid_b, size_b in values[i + 1 :]:
+                emit((rid_a, rid_b), (1, size_a, size_b))
+        context.increment(
+            "vsmart.join", "pairs_enumerated", len(values) * (len(values) - 1) // 2
+        )
+
+
+class _SimilarityPhaseJob(MapReduceJob):
+    """Aggregate counts per pair; threshold applied only here."""
+
+    name = "vsmart-similarity"
+
+    def __init__(self, theta: float, func: SimilarityFunction) -> None:
+        self.theta = theta
+        self.func = SimilarityFunction(func)
+
+    def combine(self, key, values, context: JobContext):
+        if len(values) == 1:
+            return None
+        total = sum(common for common, _, _ in values)
+        _, size_a, size_b = values[0]
+        return [(key, (total, size_a, size_b))]
+
+    def reduce(self, key, values, emit, context: JobContext) -> None:
+        total = sum(common for common, _, _ in values)
+        _, size_a, size_b = values[0]
+        if passes_threshold(self.func, self.theta, total, size_a, size_b):
+            emit(key, similarity_from_overlap(self.func, total, size_a, size_b))
+
+
+class VSmartJoin:
+    """Driver for the two-phase V-Smart-Join (Online-Aggregation)."""
+
+    algorithm_name = "V-Smart-Join"
+
+    def __init__(
+        self,
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        cluster: Optional[SimulatedCluster] = None,
+        max_intermediate_pairs: Optional[int] = 50_000_000,
+    ) -> None:
+        self.theta = theta
+        self.func = SimilarityFunction(func)
+        self.cluster = cluster or SimulatedCluster()
+        self.max_intermediate_pairs = max_intermediate_pairs
+
+    def estimated_intermediate_pairs(self, records: RecordCollection) -> int:
+        """Exact size of the Join phase's output: ``Σ_token C(freq, 2)``."""
+        frequencies: Counter = Counter()
+        for record in records:
+            frequencies.update(record.tokens)
+        return sum(freq * (freq - 1) // 2 for freq in frequencies.values())
+
+    def run(self, records: RecordCollection) -> PipelineResult:
+        """Self-join ``records``; raises ExecutionError when over budget."""
+        if self.max_intermediate_pairs is not None:
+            estimate = self.estimated_intermediate_pairs(records)
+            if estimate > self.max_intermediate_pairs:
+                raise ExecutionError(
+                    f"V-Smart-Join would enumerate {estimate} intermediate "
+                    f"pairs (budget {self.max_intermediate_pairs}); "
+                    "it does not finish on this dataset"
+                )
+        join_result = self.cluster.run_job(
+            _JoinPhaseJob(), [(record.rid, record) for record in records]
+        )
+        similarity_result = self.cluster.run_job(
+            _SimilarityPhaseJob(self.theta, self.func), join_result.output
+        )
+        return PipelineResult(
+            algorithm=self.algorithm_name,
+            pairs=similarity_result.output,
+            job_results=[join_result, similarity_result],
+        )

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``generate`` — write a synthetic corpus (email/pubmed/wiki shaped);
+* ``stats`` — print Table-III-style statistics of a corpus file;
+* ``join`` — self-join (or R-S join with ``--right``) a corpus file with a
+  chosen algorithm and print the similar pairs as TSV;
+* ``topk`` — print the k most similar pairs;
+* ``estimate`` — sampling-based estimate of the join's result count.
+
+Examples::
+
+    python -m repro generate --corpus wiki --records 500 --output wiki.txt
+    python -m repro stats wiki.txt
+    python -m repro join wiki.txt --theta 0.8 --algorithm fsjoin
+    python -m repro join left.txt --right right.txt --theta 0.8
+    python -m repro topk wiki.txt -k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.baselines import MassJoin, RIDPairsPPJoin, VSmartJoin
+from repro.core import FSJoin, FSJoinConfig
+from repro.core.rsjoin import FSJoinRS
+from repro.core.topk import topk_similar_pairs
+from repro.data import dataset_stats, load_records, make_corpus, save_records
+from repro.errors import ReproError
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+from repro.similarity.functions import SimilarityFunction
+
+ALGORITHMS = (
+    "fsjoin",
+    "fsjoin-v",
+    "ridpairs",
+    "vsmart",
+    "massjoin",
+    "massjoin-light",
+    "lsh",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FS-Join reproduction: distributed set similarity joins.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("--corpus", choices=("email", "pubmed", "wiki"),
+                          default="wiki")
+    generate.add_argument("--records", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table III)")
+    stats.add_argument("input")
+
+    join = sub.add_parser("join", help="similarity self-join or R-S join")
+    join.add_argument("input")
+    join.add_argument("--right", help="second collection (R-S join)")
+    join.add_argument("--theta", type=float, default=0.8)
+    join.add_argument("--func", choices=[f.value for f in SimilarityFunction],
+                      default="jaccard")
+    join.add_argument("--algorithm", choices=ALGORITHMS, default="fsjoin")
+    join.add_argument("--workers", type=int, default=10)
+    join.add_argument("--vertical", type=int, default=30)
+    join.add_argument("--horizontal", type=int, default=10)
+    join.add_argument("--quiet", action="store_true",
+                      help="suppress the metrics summary on stderr")
+
+    topk = sub.add_parser("topk", help="k most similar pairs")
+    topk.add_argument("input")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--func", choices=[f.value for f in SimilarityFunction],
+                      default="jaccard")
+    topk.add_argument("--workers", type=int, default=10)
+
+    estimate = sub.add_parser(
+        "estimate", help="sampling-based result-count estimate"
+    )
+    estimate.add_argument("input")
+    estimate.add_argument("--theta", type=float, default=0.8)
+    estimate.add_argument("--func", choices=[f.value for f in SimilarityFunction],
+                          default="jaccard")
+    estimate.add_argument("--sample-size", type=int, default=None)
+    estimate.add_argument("--trials", type=int, default=3)
+    estimate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _make_algorithm(args, cluster):
+    theta, func = args.theta, SimilarityFunction(args.func)
+    if args.algorithm == "fsjoin":
+        return FSJoin(
+            FSJoinConfig(theta=theta, func=func, n_vertical=args.vertical,
+                         n_horizontal=args.horizontal),
+            cluster,
+        )
+    if args.algorithm == "fsjoin-v":
+        return FSJoin(
+            FSJoinConfig(theta=theta, func=func, n_vertical=args.vertical),
+            cluster,
+        )
+    if args.algorithm == "ridpairs":
+        return RIDPairsPPJoin(theta, func, cluster)
+    if args.algorithm == "vsmart":
+        return VSmartJoin(theta, func, cluster)
+    if args.algorithm == "massjoin":
+        return MassJoin(theta, func, cluster)
+    if args.algorithm == "massjoin-light":
+        return MassJoin(theta, func, cluster, variant="merge+light")
+    from repro.approx.distributed import DistributedLSHJoin
+
+    return DistributedLSHJoin(theta, func, cluster)
+
+
+def _cmd_generate(args) -> int:
+    records = make_corpus(args.corpus, args.records, seed=args.seed)
+    save_records(records, args.output)
+    print(f"wrote {len(records)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stats = dataset_stats(load_records(args.input))
+    for key, value in stats.as_row().items():
+        print(f"{key}\t{value}")
+    return 0
+
+
+def _cmd_join(args) -> int:
+    cluster = SimulatedCluster(ClusterSpec(workers=args.workers))
+    left = load_records(args.input)
+    started = time.perf_counter()
+    if args.right:
+        if args.algorithm not in ("fsjoin", "fsjoin-v"):
+            print("R-S joins are supported by the fsjoin algorithms only",
+                  file=sys.stderr)
+            return 2
+        config = FSJoinConfig(
+            theta=args.theta, func=SimilarityFunction(args.func),
+            n_vertical=args.vertical,
+            n_horizontal=args.horizontal if args.algorithm == "fsjoin" else 1,
+        )
+        result = FSJoinRS(config, cluster).run(left, load_records(args.right))
+    else:
+        result = _make_algorithm(args, cluster).run(left)
+    wall = time.perf_counter() - started
+
+    for (rid_a, rid_b), score in sorted(result.result_pairs.items()):
+        print(f"{rid_a}\t{rid_b}\t{score:.6f}")
+    if not args.quiet:
+        times = result.simulated_time(cluster.spec)
+        print(
+            f"{result.algorithm}: {len(result.pairs)} pairs, "
+            f"wall {wall:.2f}s, shuffle {result.total_shuffle_bytes()/1e6:.2f} MB, "
+            f"simulated {times.total_s:.1f}s on {args.workers} workers",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_topk(args) -> int:
+    cluster = SimulatedCluster(ClusterSpec(workers=args.workers))
+    records = load_records(args.input)
+    pairs = topk_similar_pairs(
+        records, args.k, func=SimilarityFunction(args.func), cluster=cluster
+    )
+    for (rid_a, rid_b), score in pairs:
+        print(f"{rid_a}\t{rid_b}\t{score:.6f}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.similarity.selectivity import estimate_result_count
+
+    records = load_records(args.input)
+    estimate = estimate_result_count(
+        records,
+        args.theta,
+        func=SimilarityFunction(args.func),
+        sample_size=args.sample_size,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"estimated_pairs\t{estimate.estimated_pairs:.1f}")
+    print(f"sample_size\t{estimate.sample_size}")
+    print(f"trials\t{estimate.trials}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "join": _cmd_join,
+    "topk": _cmd_topk,
+    "estimate": _cmd_estimate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

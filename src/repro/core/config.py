@@ -1,0 +1,93 @@
+"""Configuration objects for FS-Join."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.pivots import PivotMethod
+from repro.errors import ConfigError
+from repro.similarity.functions import SimilarityFunction
+
+
+class JoinMethod(str, enum.Enum):
+    """Per-fragment join algorithm (paper Section V-A "Join Algorithms")."""
+
+    LOOP = "loop"
+    INDEX = "index"
+    PREFIX = "prefix"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Which of the paper's four filters the fragment join applies.
+
+    StrL-Filter (Lemma 1) is the baseline filter the paper always keeps on
+    in Table IV; the three segment-aware filters (Lemmas 2–4) are FS-Join's
+    novel contributions and can be toggled for the ablation.
+    """
+
+    strl: bool = True
+    segl: bool = True
+    segi: bool = True
+    segd: bool = True
+
+    @staticmethod
+    def none() -> "FilterConfig":
+        return FilterConfig(strl=False, segl=False, segi=False, segd=False)
+
+    @staticmethod
+    def only(*names: str) -> "FilterConfig":
+        """A config with just the named filters on, e.g. ``only("strl", "segd")``."""
+        valid = {"strl", "segl", "segi", "segd"}
+        unknown = set(names) - valid
+        if unknown:
+            raise ConfigError(f"unknown filter names: {sorted(unknown)}")
+        return FilterConfig(**{name: name in names for name in valid})
+
+
+@dataclass(frozen=True)
+class FSJoinConfig:
+    """All knobs of an FS-Join run.
+
+    Attributes:
+        theta: Similarity threshold in (0, 1].
+        func: Similarity function (Jaccard/Dice/Cosine).
+        n_vertical: Number of vertical partitions (fragments); the paper
+            uses the number of reduce tasks, its pivot count is
+            ``n_vertical − 1``.
+        pivot_method: How vertical pivots are chosen (Section IV).
+        join_method: Per-fragment join algorithm.
+        filters: Which filters to apply inside fragments.
+        n_horizontal: Number of *base* horizontal (length) partitions; 1
+            disables horizontal partitioning (the paper's FS-Join-V).
+        pivot_seed: Seed for the Random pivot method.
+    """
+
+    theta: float
+    func: SimilarityFunction = SimilarityFunction.JACCARD
+    n_vertical: int = 30
+    pivot_method: PivotMethod = PivotMethod.EVEN_TF
+    join_method: JoinMethod = JoinMethod.PREFIX
+    filters: FilterConfig = field(default_factory=FilterConfig)
+    n_horizontal: int = 1
+    pivot_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta <= 1.0:
+            raise ConfigError(f"theta must be in (0, 1], got {self.theta}")
+        if self.n_vertical < 1:
+            raise ConfigError("n_vertical must be >= 1")
+        if self.n_horizontal < 1:
+            raise ConfigError("n_horizontal must be >= 1 (1 = no horizontal partitioning)")
+        # Coerce loose string arguments into the enums.
+        object.__setattr__(self, "func", SimilarityFunction(self.func))
+        object.__setattr__(self, "join_method", JoinMethod(self.join_method))
+        object.__setattr__(self, "pivot_method", PivotMethod(self.pivot_method))
+
+    @property
+    def uses_horizontal(self) -> bool:
+        return self.n_horizontal > 1

@@ -1,0 +1,116 @@
+"""The four filtering methods of Section V-A (Lemmas 1–4).
+
+All four filters are *safe per fragment*: each lemma's proof derives
+``sim(s, t) < θ`` from a single fragment's view (the ∀-quantifier in the
+paper's statements is stronger than the proofs require), so a reducer may
+suppress a pair locally.  A suppressed pair can then only be under-counted
+during verification, and under-counting a provably-dissimilar pair never
+changes the result set.
+
+The lemmas are stated in the paper for Jaccard; here they are parameterised
+by the *required overlap* ``τ = required_overlap(func, θ, |s|, |t|)``, which
+makes the same inequalities valid for Dice and Cosine:
+
+* StrL-Filter (Lemma 1): prune when the partner length is outside the
+  admissible band.
+* SegL-Filter (Lemma 2): prune when even a full overlap of the two segments
+  plus full head/tail overlaps cannot reach ``τ``.
+* SegI-Filter (Lemma 3): like SegL but with the *actual* segment
+  intersection instead of its upper bound.
+* SegD-Filter (Lemma 4): prune when the segment symmetric difference
+  already exceeds the total symmetric-difference budget
+  ``|s| + |t| − 2τ`` minus the unavoidable head/tail differences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import FilterConfig
+from repro.core.partitioning import Segment
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import (
+    length_lower_bound,
+    required_overlap,
+)
+
+
+class FragmentFilters:
+    """Filter battery applied inside one fragment's join.
+
+    Stateless with respect to the data; construct once per reduce task.
+    ``pre_intersection`` runs the filters that need only lengths (cheap,
+    before computing the segment intersection); ``post_intersection`` runs
+    the filters that need the intersection size.  Both return the name of
+    the filter that pruned the pair, or ``None`` to keep it.
+    """
+
+    def __init__(
+        self,
+        theta: float,
+        func: SimilarityFunction,
+        config: FilterConfig,
+    ) -> None:
+        self.theta = theta
+        self.func = SimilarityFunction(func)
+        self.config = config
+
+    # -- Lemma 1 ------------------------------------------------------
+    def _strl_prune(self, len_s: int, len_t: int) -> bool:
+        small, large = (len_s, len_t) if len_s <= len_t else (len_t, len_s)
+        return small < length_lower_bound(self.func, self.theta, large)
+
+    # -- Lemma 2 ------------------------------------------------------
+    def _segl_prune(self, tau: int, seg_s: Segment, seg_t: Segment) -> bool:
+        budget = (
+            tau
+            - min(seg_s.info.ahead, seg_t.info.ahead)
+            - min(seg_s.info.behind, seg_t.info.behind)
+        )
+        return min(len(seg_s), len(seg_t)) < budget
+
+    # -- Lemma 3 ------------------------------------------------------
+    def _segi_prune(self, tau: int, common: int, seg_s: Segment, seg_t: Segment) -> bool:
+        budget = (
+            tau
+            - min(seg_s.info.ahead, seg_t.info.ahead)
+            - min(seg_s.info.behind, seg_t.info.behind)
+        )
+        return common < budget
+
+    # -- Lemma 4 ------------------------------------------------------
+    def _segd_prune(self, tau: int, common: int, seg_s: Segment, seg_t: Segment) -> bool:
+        len_s, len_t = seg_s.info.str_len, seg_t.info.str_len
+        seg_diff = len(seg_s) + len(seg_t) - 2 * common
+        budget = (
+            (len_s + len_t - 2 * tau)
+            - abs(seg_s.info.ahead - seg_t.info.ahead)
+            - abs(seg_s.info.behind - seg_t.info.behind)
+        )
+        return seg_diff > budget
+
+    # ------------------------------------------------------------------
+    def pre_intersection(self, seg_s: Segment, seg_t: Segment) -> Optional[str]:
+        """Filters that run before the segment intersection is computed."""
+        len_s, len_t = seg_s.info.str_len, seg_t.info.str_len
+        if self.config.strl and self._strl_prune(len_s, len_t):
+            return "strl"
+        if self.config.segl:
+            tau = required_overlap(self.func, self.theta, len_s, len_t)
+            if self._segl_prune(tau, seg_s, seg_t):
+                return "segl"
+        return None
+
+    def post_intersection(
+        self, seg_s: Segment, seg_t: Segment, common: int
+    ) -> Optional[str]:
+        """Filters that need the exact segment intersection size."""
+        if not (self.config.segi or self.config.segd):
+            return None
+        len_s, len_t = seg_s.info.str_len, seg_t.info.str_len
+        tau = required_overlap(self.func, self.theta, len_s, len_t)
+        if self.config.segi and self._segi_prune(tau, common, seg_s, seg_t):
+            return "segi"
+        if self.config.segd and self._segd_prune(tau, common, seg_s, seg_t):
+            return "segd"
+        return None

@@ -1,0 +1,103 @@
+"""The ordering phase: global token ordering by ascending term frequency.
+
+FS-Join (and RIDPairsPPJoin, which it borrows the method from) sorts the
+token universe by ascending term frequency so that rare tokens come first —
+this is what makes prefixes selective.  One MapReduce job computes the
+frequencies; the driver then assigns each token an integer *rank* (0 =
+rarest).  All downstream processing works on rank tuples, which are compact
+and compare fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.records import Record, RecordCollection
+from repro.errors import DataError
+from repro.mapreduce.job import JobContext, MapReduceJob
+from repro.mapreduce.runtime import JobResult, SimulatedCluster
+
+
+class TokenFrequencyJob(MapReduceJob):
+    """Classic word count over record token sets (with a combiner)."""
+
+    name = "fsjoin-ordering"
+
+    def map(self, key, value: Record, emit, context: JobContext) -> None:
+        for token in value.tokens:
+            emit(token, 1)
+
+    def combine(self, key, values: List[int], context: JobContext):
+        return [(key, sum(values))]
+
+    def reduce(self, key, values: List[int], emit, context: JobContext) -> None:
+        emit(key, sum(values))
+
+
+class GlobalOrder:
+    """A total order over the token universe: token → rank.
+
+    Rank 0 is the rarest token (ascending term frequency; ties broken
+    lexicographically so the order is deterministic).  Also keeps the
+    frequency of every rank, which the Even-TF pivot selector needs.
+    """
+
+    def __init__(self, frequencies: Sequence[Tuple[str, int]]) -> None:
+        ordered = sorted(frequencies, key=lambda item: (item[1], item[0]))
+        self._rank: Dict[str, int] = {
+            token: rank for rank, (token, _) in enumerate(ordered)
+        }
+        self._tokens: List[str] = [token for token, _ in ordered]
+        self._freqs: List[int] = [freq for _, freq in ordered]
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._tokens)
+
+    def rank(self, token: str) -> int:
+        """Rank of ``token``; raises :class:`DataError` for unknown tokens."""
+        try:
+            return self._rank[token]
+        except KeyError:
+            raise DataError(f"token {token!r} not in the global ordering") from None
+
+    def token(self, rank: int) -> str:
+        """Inverse lookup (rank → token)."""
+        return self._tokens[rank]
+
+    def frequency_of_rank(self, rank: int) -> int:
+        return self._freqs[rank]
+
+    @property
+    def rank_frequencies(self) -> Sequence[int]:
+        """Frequencies indexed by rank (ascending)."""
+        return self._freqs
+
+    def encode(self, record: Record) -> Tuple[int, ...]:
+        """Record tokens as a strictly increasing tuple of ranks."""
+        rank = self._rank
+        try:
+            return tuple(sorted(rank[token] for token in record.tokens))
+        except KeyError as exc:
+            raise DataError(
+                f"record {record.rid} contains token {exc.args[0]!r} "
+                "outside the global ordering"
+            ) from None
+
+    def decode(self, ranks: Sequence[int]) -> Tuple[str, ...]:
+        """Ranks back to tokens (mainly for debugging and tests)."""
+        return tuple(self._tokens[rank] for rank in ranks)
+
+
+def compute_global_ordering(
+    cluster: SimulatedCluster,
+    records: RecordCollection,
+    num_reduce_tasks: Optional[int] = None,
+) -> Tuple[GlobalOrder, JobResult]:
+    """Run the ordering job and build the :class:`GlobalOrder`."""
+    result = cluster.run_job(
+        TokenFrequencyJob(),
+        [(record.rid, record) for record in records],
+        num_reduce_tasks=num_reduce_tasks,
+    )
+    return GlobalOrder(result.output), result

@@ -1,0 +1,45 @@
+"""The verification MapReduce job (paper Section V-B).
+
+Input: the filter job's ``((rid_s, rid_t), (common, len_s, len_t))``
+partial counts.  The per-fragment counts of one pair are summed (a map-side
+combiner already collapses duplicates within a map task); the exact
+similarity is then derived from the total count and the two record sizes —
+FS-Join never touches the original strings again.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mapreduce.job import JobContext, MapReduceJob
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import passes_threshold, similarity_from_overlap
+
+PartialCount = Tuple[int, int, int]  # (common, len_s, len_t)
+
+
+class VerificationJob(MapReduceJob):
+    """Aggregate partial counts and apply the exact threshold test."""
+
+    name = "fsjoin-verify"
+
+    def __init__(self, theta: float, func: SimilarityFunction) -> None:
+        self.theta = theta
+        self.func = SimilarityFunction(func)
+
+    def combine(self, key, values: List[PartialCount], context: JobContext):
+        if len(values) == 1:
+            return None
+        total = sum(common for common, _, _ in values)
+        _, len_s, len_t = values[0]
+        return [(key, (total, len_s, len_t))]
+
+    def reduce(
+        self, key, values: List[PartialCount], emit, context: JobContext
+    ) -> None:
+        total = sum(common for common, _, _ in values)
+        _, len_s, len_t = values[0]
+        context.increment("fsjoin.verify", "candidates")
+        if passes_threshold(self.func, self.theta, total, len_s, len_t):
+            context.increment("fsjoin.verify", "results")
+            emit(key, similarity_from_overlap(self.func, total, len_s, len_t))

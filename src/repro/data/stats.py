@@ -1,0 +1,71 @@
+"""Dataset statistics (the paper's Table III).
+
+``dataset_stats`` computes the quantities Table III reports for each corpus
+(record count, size, length min / max / mean) plus the token-skew figures
+the load-balancing discussion relies on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.data.records import RecordCollection
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of one record collection."""
+
+    n_records: int
+    n_tokens: int
+    vocab_size: int
+    size_bytes: int
+    min_len: int
+    max_len: int
+    mean_len: float
+    top_token_share: float
+    """Fraction of all token occurrences taken by the single most frequent token."""
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "records": self.n_records,
+            "tokens": self.n_tokens,
+            "vocab": self.vocab_size,
+            "size_mb": round(self.size_bytes / 1e6, 3),
+            "min_len": self.min_len,
+            "max_len": self.max_len,
+            "mean_len": round(self.mean_len, 2),
+            "top_token_share": round(self.top_token_share, 4),
+        }
+
+
+def dataset_stats(records: RecordCollection) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a collection."""
+    if len(records) == 0:
+        return DatasetStats(0, 0, 0, 0, 0, 0, 0.0, 0.0)
+    frequencies: Counter = Counter()
+    size_bytes = 0
+    min_len = max_len = records[0].size
+    total = 0
+    for record in records:
+        n = record.size
+        total += n
+        min_len = min(min_len, n)
+        max_len = max(max_len, n)
+        for token in record.tokens:
+            frequencies[token] += 1
+            size_bytes += len(token) + 1
+    top = frequencies.most_common(1)[0][1] if frequencies else 0
+    return DatasetStats(
+        n_records=len(records),
+        n_tokens=total,
+        vocab_size=len(frequencies),
+        size_bytes=size_bytes,
+        min_len=min_len,
+        max_len=max_len,
+        mean_len=total / len(records),
+        top_token_share=top / total if total else 0.0,
+    )

@@ -1,0 +1,57 @@
+"""Tokenizers that turn raw text into token sequences.
+
+SSJoin treats a string as a set of tokens.  The paper tokenises on words; a
+q-gram tokenizer is also provided for callers who want character-level sets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import ConfigError
+
+
+class Tokenizer:
+    """Base tokenizer interface."""
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into tokens (duplicates allowed, order preserved)."""
+        raise NotImplementedError
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokenize(text)
+
+
+class WhitespaceTokenizer(Tokenizer):
+    """Split on runs of whitespace; keeps punctuation attached to words."""
+
+    def tokenize(self, text: str) -> List[str]:
+        return text.split()
+
+
+class WordTokenizer(Tokenizer):
+    """Extract lowercase alphanumeric words, dropping punctuation."""
+
+    _WORD = re.compile(r"[A-Za-z0-9]+")
+
+    def tokenize(self, text: str) -> List[str]:
+        return [match.group(0).lower() for match in self._WORD.finditer(text)]
+
+
+class QGramTokenizer(Tokenizer):
+    """Overlapping character q-grams of the (optionally padded) string."""
+
+    def __init__(self, q: int = 3, pad: bool = True) -> None:
+        if q < 1:
+            raise ConfigError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.pad = pad
+
+    def tokenize(self, text: str) -> List[str]:
+        if self.pad:
+            fill = "#" * (self.q - 1)
+            text = f"{fill}{text}{fill}"
+        if len(text) < self.q:
+            return [text] if text else []
+        return [text[i : i + self.q] for i in range(len(text) - self.q + 1)]

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the package raises with a single except clause while still
+being able to discriminate configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A job or algorithm was configured with invalid parameters."""
+
+
+class DataError(ReproError):
+    """Input data violates the contract expected by an algorithm."""
+
+
+class ExecutionError(ReproError):
+    """A MapReduce job failed while executing."""
+
+
+class DFSError(ReproError):
+    """A distributed-file-system operation failed (missing path, overwrite)."""

@@ -1,0 +1,42 @@
+"""A deterministic MapReduce runtime with cluster simulation.
+
+The paper runs on Hadoop 0.20.2 over an 11-node EC2 cluster.  This package
+substitutes a single-process runtime that executes jobs with identical
+semantics (map → combine → partition/shuffle → sort/group → reduce) while
+*measuring* the quantities the paper's evaluation is about:
+
+* map/shuffle/reduce record and byte counts (duplication, shuffle cost);
+* per-task wall time (measured, not modelled), fed to an analytic cluster
+  cost model so node-count scaling experiments (Fig. 9) can be replayed
+  without hardware;
+* per-reduce-task load, exposing skew/load-balancing behaviour.
+
+See :mod:`repro.mapreduce.runtime` for the engine and
+:mod:`repro.mapreduce.costmodel` for the time model.
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import JobContext, MapReduceJob
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.runtime import ClusterSpec, JobResult, SimulatedCluster
+from repro.mapreduce.costmodel import CostModel, PhaseTimes, simulate_job_time
+from repro.mapreduce.pipeline import PipelineResult
+from repro.mapreduce.shuffle import stable_hash
+
+__all__ = [
+    "Counters",
+    "InMemoryDFS",
+    "MapReduceJob",
+    "JobContext",
+    "JobMetrics",
+    "TaskMetrics",
+    "ClusterSpec",
+    "SimulatedCluster",
+    "JobResult",
+    "CostModel",
+    "PhaseTimes",
+    "simulate_job_time",
+    "PipelineResult",
+    "stable_hash",
+]

@@ -1,0 +1,168 @@
+"""Analytic cluster time model.
+
+Converts the measured per-task metrics of a job into simulated wall-clock
+time on a cluster of ``N`` workers.  The model mirrors how Hadoop actually
+spends time:
+
+* a fixed per-job startup latency (job submission, container launch);
+* the map phase: measured task compute times scheduled LPT-greedily onto
+  ``workers × map_slots`` parallel lanes;
+* the shuffle: total shuffle bytes over the cluster's aggregate bandwidth;
+* the reduce phase: LPT schedule of measured reduce-task times — this is
+  where skew hurts: one giant reduce task bounds the makespan no matter how
+  many workers exist (the paper's load-balancing argument);
+* output write to the DFS.
+
+The paper's Lemma 5 cost expression is implemented alongside in
+:func:`lemma5_cost` for the cost-analysis benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigError
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.runtime import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants of the time model.
+
+    The defaults are calibrated to feel like a small Hadoop-era cluster so
+    that fixed job latency matters (MassJoin pays it four times per join),
+    but any relative comparison is insensitive to the absolute values.
+    """
+
+    job_startup_s: float = 6.0
+    task_startup_s: float = 0.15
+    shuffle_bandwidth_per_worker: float = 40e6  # bytes/s
+    dfs_bandwidth_per_worker: float = 80e6  # bytes/s
+    compute_scale: float = 1.0  # measured python seconds → cluster seconds
+
+    def __post_init__(self) -> None:
+        if self.shuffle_bandwidth_per_worker <= 0 or self.dfs_bandwidth_per_worker <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Simulated seconds per phase of one job."""
+
+    startup_s: float
+    map_s: float
+    shuffle_s: float
+    reduce_s: float
+    output_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.startup_s + self.map_s + self.shuffle_s + self.reduce_s + self.output_s
+
+    def __add__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(
+            self.startup_s + other.startup_s,
+            self.map_s + other.map_s,
+            self.shuffle_s + other.shuffle_s,
+            self.reduce_s + other.reduce_s,
+            self.output_s + other.output_s,
+        )
+
+
+ZERO_TIMES = PhaseTimes(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def lpt_makespan(costs: Iterable[float], lanes: int) -> float:
+    """Longest-processing-time-first makespan of ``costs`` on ``lanes`` machines."""
+    if lanes < 1:
+        raise ConfigError("lanes must be >= 1")
+    heap: List[float] = [0.0] * lanes
+    for cost in sorted(costs, reverse=True):
+        lightest = heapq.heappop(heap)
+        heapq.heappush(heap, lightest + cost)
+    return max(heap)
+
+
+def simulate_job_time(
+    metrics: JobMetrics,
+    cluster: ClusterSpec,
+    model: CostModel = CostModel(),
+) -> PhaseTimes:
+    """Simulated wall-clock of one job on ``cluster`` under ``model``."""
+    map_costs = [
+        task.compute_seconds * model.compute_scale + model.task_startup_s
+        for task in metrics.map_tasks
+    ]
+    reduce_costs = [
+        task.compute_seconds * model.compute_scale + model.task_startup_s
+        for task in metrics.reduce_tasks
+    ]
+    map_lanes = cluster.workers * cluster.map_slots
+    reduce_lanes = cluster.workers * cluster.reduce_slots
+    shuffle_s = metrics.shuffle_bytes / (
+        model.shuffle_bandwidth_per_worker * cluster.workers
+    )
+    output_s = metrics.output_bytes / (
+        model.dfs_bandwidth_per_worker * cluster.workers
+    )
+    return PhaseTimes(
+        startup_s=model.job_startup_s,
+        map_s=lpt_makespan(map_costs, map_lanes),
+        shuffle_s=shuffle_s,
+        reduce_s=lpt_makespan(reduce_costs, reduce_lanes),
+        output_s=output_s,
+    )
+
+
+def simulate_pipeline_time(
+    all_metrics: Sequence[JobMetrics],
+    cluster: ClusterSpec,
+    model: CostModel = CostModel(),
+) -> PhaseTimes:
+    """Sum of simulated job times for a multi-job pipeline."""
+    total = ZERO_TIMES
+    for metrics in all_metrics:
+        total = total + simulate_job_time(metrics, cluster, model)
+    return total
+
+
+def lemma5_cost(
+    record_sizes: Sequence[int],
+    n_partitions: int,
+    token_probability: float,
+    candidate_fraction: float,
+    result_fraction: float,
+    c_map: float = 1.0,
+    c_shuffle: float = 1.0,
+    c_reduce: float = 1.0,
+    c_output: float = 1.0,
+) -> float:
+    """The paper's Lemma 5 analytic cost of FS-Join (filter + verification).
+
+    ``Σ|s_i|·C_m + Σ|s_i|·C_s + N·(M·P/N)²·(Σ|s_i|/M)·C_r
+    + N·α·(M·P/N)²·(C_m + C_s + C_r + C_o) + α·β·(M·P/N)²·C_o``
+
+    where ``M`` is the record count, ``N`` the partition count, ``P`` the
+    probability a record contributes a segment to a fragment, ``α`` the
+    candidate fraction and ``β`` the result-over-candidate fraction.
+    """
+    if n_partitions < 1:
+        raise ConfigError("n_partitions must be >= 1")
+    m = len(record_sizes)
+    total_tokens = float(sum(record_sizes))
+    avg_size = total_tokens / m if m else 0.0
+    expected_fragment = (m * token_probability) / n_partitions
+    pairs_per_fragment = expected_fragment**2
+    first_job = (
+        total_tokens * c_map
+        + total_tokens * c_shuffle
+        + n_partitions * pairs_per_fragment * avg_size * c_reduce
+        + n_partitions * pairs_per_fragment * candidate_fraction * c_output
+    )
+    second_job = n_partitions * pairs_per_fragment * candidate_fraction * (
+        c_map + c_shuffle + c_reduce
+    ) + pairs_per_fragment * candidate_fraction * result_fraction * c_output
+    return first_job + second_job

@@ -1,0 +1,49 @@
+"""Hadoop-style hierarchical counters.
+
+Jobs increment named counters (grouped, like Hadoop's counter groups); the
+runtime aggregates them across tasks and exposes them on the job result.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A two-level ``group → name → count`` counter map."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``group:name``."""
+        self._groups[group][name] += amount
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of ``group:name`` (0 if never incremented)."""
+        return self._groups.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> Dict[str, int]:
+        """A copy of all counters in ``group``."""
+        return dict(self._groups.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        """Fold ``other``'s counts into this instance."""
+        for group, names in other._groups.items():
+            target = self._groups[group]
+            for name, value in names.items():
+                target[name] += value
+
+    def __iter__(self) -> Iterator[Tuple[str, str, int]]:
+        for group, names in sorted(self._groups.items()):
+            for name, value in sorted(names.items()):
+                yield group, name, value
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Nested plain-dict snapshot (for assertions and reports)."""
+        return {group: dict(names) for group, names in self._groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{g}:{n}={v}" for g, n, v in self)
+        return f"Counters({entries})"

@@ -1,0 +1,100 @@
+"""Execution metrics gathered by the runtime.
+
+Every map and reduce task records its input/output volumes and its measured
+compute time.  These are the raw observations behind all of the paper's
+comparisons: shuffle cost (Table I discussion), duplication factors, reduce
+load skew (the load-balancing claims) and the per-phase times of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class TaskMetrics:
+    """Volumes and measured compute time of a single task."""
+
+    task_id: int
+    input_records: int = 0
+    input_bytes: int = 0
+    output_records: int = 0
+    output_bytes: int = 0
+    compute_seconds: float = 0.0
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated metrics for one MapReduce job execution."""
+
+    job_name: str
+    map_tasks: List[TaskMetrics] = field(default_factory=list)
+    reduce_tasks: List[TaskMetrics] = field(default_factory=list)
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+
+    # ---- aggregate volumes -------------------------------------------------
+    @property
+    def input_records(self) -> int:
+        return sum(task.input_records for task in self.map_tasks)
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(task.input_bytes for task in self.map_tasks)
+
+    @property
+    def map_output_records(self) -> int:
+        return sum(task.output_records for task in self.map_tasks)
+
+    @property
+    def map_output_bytes(self) -> int:
+        return sum(task.output_bytes for task in self.map_tasks)
+
+    @property
+    def output_records(self) -> int:
+        return sum(task.output_records for task in self.reduce_tasks)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(task.output_bytes for task in self.reduce_tasks)
+
+    # ---- skew / balance ----------------------------------------------------
+    def reduce_input_loads(self) -> List[int]:
+        """Per-reduce-task input bytes (the shuffled fragment sizes)."""
+        return [task.input_bytes for task in self.reduce_tasks]
+
+    def reduce_load_cv(self) -> float:
+        """Coefficient of variation of reduce input bytes (0 = perfect balance)."""
+        loads = self.reduce_input_loads()
+        if not loads:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        variance = sum((x - mean) ** 2 for x in loads) / len(loads)
+        return math.sqrt(variance) / mean
+
+    def reduce_load_max_over_mean(self) -> float:
+        """Max/mean of reduce input bytes (≥ 1; large means a straggler)."""
+        loads = self.reduce_input_loads()
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    # ---- duplication --------------------------------------------------------
+    def duplication_byte_factor(self) -> float:
+        """Map output bytes over input bytes.
+
+        ≈ 1.0 for a duplicate-free algorithm (FS-Join's segments partition
+        each record); > 1 when records are replicated per signature token.
+        """
+        inp = self.input_bytes
+        return self.map_output_bytes / inp if inp else 0.0
+
+    def duplication_record_factor(self) -> float:
+        """Map output records over input records (signatures per record)."""
+        inp = self.input_records
+        return self.map_output_records / inp if inp else 0.0

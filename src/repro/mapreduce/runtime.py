@@ -1,0 +1,318 @@
+"""The MapReduce execution engine.
+
+:class:`SimulatedCluster` executes a :class:`~repro.mapreduce.job.MapReduceJob`
+with full Hadoop semantics — input splits, per-task setup, map, optional
+combiner, hash (or custom) partitioning, sort/group, reduce — in a single
+process, deterministically.  Parallelism is *accounted for* rather than
+exercised: every task's compute time is measured with a monotonic clock and
+its data volumes recorded, and :mod:`repro.mapreduce.costmodel` converts
+those observations into simulated cluster wall-clock for any worker count.
+
+The paper's cluster (Section VI-A) is 10 workers with 3 reduce slots each
+and "the number of reduce tasks set to be three times the number of nodes";
+:class:`ClusterSpec` defaults match that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ExecutionError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobContext, MapReduceJob
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.shuffle import group_sort_key
+from repro.mapreduce.sizer import estimate_pair_size
+
+Pair = Tuple[Any, Any]
+
+#: Fault-injection hook: ``(phase, task_id, attempt) -> should_fail``.
+FailureInjector = Callable[[str, int, int], bool]
+
+
+class _InjectedTaskFailure(Exception):
+    """Raised inside a task attempt by the failure injector."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster.
+
+    Attributes:
+        workers: Number of worker nodes (the paper uses 5/10/15).
+        map_slots: Concurrent map tasks per worker.
+        reduce_slots: Concurrent reduce tasks per worker (paper: 3).
+    """
+
+    workers: int = 10
+    map_slots: int = 3
+    reduce_slots: int = 3
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.map_slots < 1 or self.reduce_slots < 1:
+            raise ConfigError("cluster dimensions must all be >= 1")
+
+    @property
+    def default_reduce_tasks(self) -> int:
+        """Paper convention: reduce tasks = 3 × nodes."""
+        return self.workers * self.reduce_slots
+
+    @property
+    def default_map_tasks(self) -> int:
+        return self.workers * self.map_slots
+
+
+@dataclass
+class JobResult:
+    """Everything one job execution produced."""
+
+    output: List[Pair]
+    metrics: JobMetrics
+    counters: Counters
+
+
+class SimulatedCluster:
+    """Runs MapReduce jobs sequentially while accounting for parallel cost.
+
+    Hadoop's defining operational feature — re-executing failed tasks — is
+    modelled via ``failure_injector``: a hook called before every task
+    attempt that may declare the attempt failed.  A failed attempt's
+    partial output is discarded (tasks buffer locally and publish only on
+    success, exactly like Hadoop's commit protocol) and the task is
+    retried up to ``max_task_attempts`` times before the job aborts.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        max_task_attempts: int = 4,
+    ) -> None:
+        if max_task_attempts < 1:
+            raise ConfigError("max_task_attempts must be >= 1")
+        self.spec = spec or ClusterSpec()
+        self.failure_injector = failure_injector
+        self.max_task_attempts = max_task_attempts
+
+    def _attempt_loop(
+        self,
+        phase: str,
+        task_id: int,
+        counters: Counters,
+        run_attempt: Callable[[int], Tuple[TaskMetrics, Callable[[], None]]],
+    ) -> TaskMetrics:
+        """Retry Hadoop-style until success or exhaustion.
+
+        ``run_attempt`` executes the task's work side-effect-free and
+        returns ``(task_metrics, publish)``; the injector is consulted
+        *after* the work (modelling a task that died before its commit) and
+        a failed attempt's buffered output and counters are discarded by
+        simply never calling ``publish``.
+        """
+        for attempt in range(1, self.max_task_attempts + 1):
+            task, publish = run_attempt(attempt)
+            if self.failure_injector is not None and self.failure_injector(
+                phase, task_id, attempt
+            ):
+                counters.increment("mapreduce", f"{phase}_task_retries")
+                continue
+            publish()
+            return task
+        raise ExecutionError(
+            f"{phase} task {task_id} failed {self.max_task_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        job: MapReduceJob,
+        input_pairs: Sequence[Pair],
+        num_reduce_tasks: Optional[int] = None,
+        num_map_tasks: Optional[int] = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``input_pairs`` and return output + metrics."""
+        if num_reduce_tasks is not None and num_reduce_tasks < 1:
+            raise ConfigError("num_reduce_tasks must be >= 1")
+        if num_map_tasks is not None and num_map_tasks < 1:
+            raise ConfigError("num_map_tasks must be >= 1")
+        n_reduce = num_reduce_tasks or self.spec.default_reduce_tasks
+        n_map = num_map_tasks or self.spec.default_map_tasks
+        n_map = max(1, min(n_map, len(input_pairs))) if input_pairs else 1
+
+        metrics = JobMetrics(job_name=job.name)
+        counters = Counters()
+        has_combiner = type(job).combine is not MapReduceJob.combine
+
+        # ---- map phase ------------------------------------------------
+        partitions: List[Dict[Any, List[Any]]] = [dict() for _ in range(n_reduce)]
+        splits = _split(input_pairs, n_map)
+        for task_id, split in enumerate(splits):
+
+            def run_map_attempt(attempt: int, task_id=task_id, split=split):
+                task, buffer, task_counters = _run_map_task(
+                    job, task_id, split, n_reduce, has_combiner
+                )
+
+                def publish() -> None:
+                    # Hadoop's task commit: visible only on success.
+                    for index, groups in buffer.items():
+                        target = partitions[index]
+                        for key, values in groups.items():
+                            target.setdefault(key, []).extend(values)
+                    counters.merge(task_counters)
+
+                return task, publish
+
+            metrics.map_tasks.append(
+                self._attempt_loop("map", task_id, counters, run_map_attempt)
+            )
+
+        # ---- shuffle accounting ----------------------------------------
+        shuffle_records = 0
+        shuffle_bytes = 0
+        for partition in partitions:
+            for key, values in partition.items():
+                shuffle_records += len(values)
+                key_size = estimate_pair_size(key, None) - 1
+                shuffle_bytes += sum(
+                    key_size + estimate_pair_size(None, v) - 1 for v in values
+                )
+        metrics.shuffle_records = shuffle_records
+        metrics.shuffle_bytes = shuffle_bytes
+
+        # ---- reduce phase ----------------------------------------------
+        output: List[Pair] = []
+        for task_id, partition in enumerate(partitions):
+
+            def run_reduce_attempt(attempt: int, task_id=task_id, partition=partition):
+                task, task_output, task_counters = _run_reduce_task(
+                    job, task_id, partition
+                )
+
+                def publish() -> None:
+                    output.extend(task_output)
+                    counters.merge(task_counters)
+
+                return task, publish
+
+            metrics.reduce_tasks.append(
+                self._attempt_loop("reduce", task_id, counters, run_reduce_attempt)
+            )
+
+        return JobResult(output=output, metrics=metrics, counters=counters)
+
+
+def _split(pairs: Sequence[Pair], n_splits: int) -> List[Sequence[Pair]]:
+    """Contiguous, near-even input splits (Hadoop block splits)."""
+    total = len(pairs)
+    if total == 0:
+        return [()]
+    base, extra = divmod(total, n_splits)
+    splits: List[Sequence[Pair]] = []
+    start = 0
+    for i in range(n_splits):
+        length = base + (1 if i < extra else 0)
+        splits.append(pairs[start : start + length])
+        start += length
+    return splits
+
+
+def _run_map_task(
+    job: MapReduceJob,
+    task_id: int,
+    split: Sequence[Pair],
+    n_reduce: int,
+    has_combiner: bool,
+) -> Tuple[TaskMetrics, Dict[int, Dict[Any, List[Any]]], Counters]:
+    """Run one map task attempt; returns its metrics, buffered output and
+    counters without publishing anything (the caller commits on success)."""
+    task = TaskMetrics(task_id=task_id)
+    counters = Counters()
+    context = JobContext(task_id, "map", counters)
+    buffer: Dict[int, Dict[Any, List[Any]]] = {}
+
+    def emit(key: Any, value: Any) -> None:
+        index = job.partition(key, n_reduce)
+        if not 0 <= index < n_reduce:
+            raise ExecutionError(
+                f"job {job.name!r} partitioned key {key!r} to {index}, "
+                f"outside [0, {n_reduce})"
+            )
+        buffer.setdefault(index, {}).setdefault(key, []).append(value)
+        task.output_records += 1
+        task.output_bytes += estimate_pair_size(key, value)
+
+    started = time.perf_counter()
+    job.setup(context)
+    for key, value in split:
+        task.input_records += 1
+        task.input_bytes += estimate_pair_size(key, value)
+        job.map(key, value, emit, context)
+    if has_combiner:
+        _apply_combiner(job, context, buffer, task)
+    task.compute_seconds = time.perf_counter() - started
+    return task, buffer, counters
+
+
+def _apply_combiner(
+    job: MapReduceJob,
+    context: JobContext,
+    buffer: Dict[int, Dict[Any, List[Any]]],
+    task: TaskMetrics,
+) -> None:
+    """Run the combiner over each buffered key group, updating output stats."""
+    for index, groups in buffer.items():
+        for key in list(groups):
+            values = groups[key]
+            combined = job.combine(key, values, context)
+            if combined is None:
+                continue
+            new_pairs = list(combined)
+            # Adjust accounting: the combiner replaces this key's pairs.
+            task.output_records -= len(values)
+            task.output_bytes -= sum(estimate_pair_size(key, v) for v in values)
+            groups[key] = []
+            for new_key, new_value in new_pairs:
+                if new_key != key:
+                    raise ExecutionError(
+                        f"combiner of job {job.name!r} changed key "
+                        f"{key!r} -> {new_key!r}; combiners must preserve keys"
+                    )
+                groups[key].append(new_value)
+                task.output_records += 1
+                task.output_bytes += estimate_pair_size(new_key, new_value)
+            if not groups[key]:
+                del groups[key]
+
+
+def _run_reduce_task(
+    job: MapReduceJob,
+    task_id: int,
+    partition: Dict[Any, List[Any]],
+) -> Tuple[TaskMetrics, List[Pair], Counters]:
+    """Run one reduce task attempt; output is buffered, not published."""
+    task = TaskMetrics(task_id=task_id)
+    counters = Counters()
+    context = JobContext(task_id, "reduce", counters)
+    output: List[Pair] = []
+
+    def emit(key: Any, value: Any) -> None:
+        output.append((key, value))
+        task.output_records += 1
+        task.output_bytes += estimate_pair_size(key, value)
+
+    for key, values in partition.items():
+        task.input_records += len(values)
+        key_size = estimate_pair_size(key, None) - 1
+        task.input_bytes += sum(
+            key_size + estimate_pair_size(None, v) - 1 for v in values
+        )
+
+    started = time.perf_counter()
+    job.setup(context)
+    for key in sorted(partition, key=group_sort_key):
+        job.reduce(key, partition[key], emit, context)
+    task.compute_seconds = time.perf_counter() - started
+    return task, output, counters

@@ -1,0 +1,61 @@
+"""Partitioning and grouping primitives for the shuffle phase.
+
+Python's builtin ``hash`` is randomized per process for strings, which would
+make task placement (and therefore metrics) non-reproducible.  The runtime
+uses :func:`stable_hash` instead — a deterministic recursive hash over the
+value kinds jobs emit as keys.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+_MASK = (1 << 61) - 1
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic, process-independent hash of common key types."""
+    if value is None:
+        return 0x9E3779B1
+    if isinstance(value, bool):
+        return 0x85EBCA6B if value else 0xC2B2AE35
+    if isinstance(value, int):
+        return (value * 0x9E3779B97F4A7C15) & _MASK
+    if isinstance(value, float):
+        return stable_hash(value.as_integer_ratio())
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8")) * 0x9E3779B1 & _MASK
+    if isinstance(value, bytes):
+        return zlib.crc32(value) * 0x9E3779B1 & _MASK
+    if isinstance(value, (tuple, list)):
+        acc = 0x345678
+        for item in value:
+            acc = (acc * 1000003) ^ stable_hash(item)
+            acc &= _MASK
+        return acc ^ len(value)
+    if isinstance(value, frozenset):
+        acc = 0
+        for item in value:
+            acc ^= stable_hash(item)
+        return acc & _MASK
+    return zlib.crc32(repr(value).encode("utf-8")) & _MASK
+
+
+def default_partition(key: Any, n_partitions: int) -> int:
+    """Hash partitioner (Hadoop's default): ``stable_hash(key) % n``."""
+    return stable_hash(key) % n_partitions
+
+
+def group_sort_key(key: Any):
+    """Deterministic ordering for reduce groups.
+
+    Keys within one job are homogeneous, so tuple/scalar comparisons work;
+    ``repr`` is the fallback for exotic key types.
+    """
+    try:
+        if isinstance(key, (int, float, str, tuple)):
+            return (0, key)
+    except TypeError:  # pragma: no cover - defensive
+        pass
+    return (1, repr(key))

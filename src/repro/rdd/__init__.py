@@ -1,0 +1,24 @@
+"""A miniature Spark-style RDD engine, plus FS-Join expressed on it.
+
+The paper's conclusion names porting FS-Join to Spark as future work; this
+subpackage delivers that port on a self-contained engine with the core RDD
+semantics:
+
+* lazy, lineage-based datasets (:class:`~repro.rdd.rdd.RDD`) — narrow
+  transformations compute per partition, wide transformations introduce a
+  hash shuffle;
+* a driver context (:class:`~repro.rdd.context.MiniSparkContext`) that
+  tracks shuffle volume and stage counts, mirroring what the MapReduce
+  runtime measures;
+* :func:`repro.rdd.similarity.fsjoin_rdd` — the full FS-Join pipeline
+  (ordering → vertical/horizontal partitioning → fragment joins → count
+  aggregation → verification) as an RDD program, reusing the exact same
+  core operators as the MapReduce version, so both implementations are
+  equivalence-tested against each other.
+"""
+
+from repro.rdd.context import MiniSparkContext, ShuffleMetrics
+from repro.rdd.rdd import RDD
+from repro.rdd.similarity import fsjoin_rdd
+
+__all__ = ["MiniSparkContext", "ShuffleMetrics", "RDD", "fsjoin_rdd"]

@@ -1,0 +1,58 @@
+"""The driver context for the mini RDD engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ShuffleMetrics:
+    """Aggregate shuffle accounting across one context's jobs.
+
+    The Spark port is compared against the MapReduce implementation on
+    these numbers (shuffle volume is the scale-free cost in both worlds).
+    """
+
+    shuffles: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    stages: int = 0
+    per_shuffle_records: List[int] = field(default_factory=list)
+
+    def record_shuffle(self, records: int, size_bytes: int) -> None:
+        self.shuffles += 1
+        self.shuffle_records += records
+        self.shuffle_bytes += size_bytes
+        self.per_shuffle_records.append(records)
+
+
+class MiniSparkContext:
+    """Creates source RDDs and owns the execution metrics.
+
+    Example:
+        >>> ctx = MiniSparkContext(default_parallelism=4)
+        >>> ctx.parallelize(range(10)).map(lambda x: x * 2).count()
+        10
+    """
+
+    def __init__(self, default_parallelism: int = 8) -> None:
+        if default_parallelism < 1:
+            raise ConfigError("default_parallelism must be >= 1")
+        self.default_parallelism = default_parallelism
+        self.metrics = ShuffleMetrics()
+
+    def parallelize(
+        self, data: Iterable, n_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Distribute a local collection into a source RDD."""
+        from repro.rdd.rdd import ParallelCollectionRDD
+
+        if n_partitions is not None and n_partitions < 1:
+            raise ConfigError("n_partitions must be >= 1")
+        items: Sequence = list(data)
+        n = n_partitions or self.default_parallelism
+        n = max(1, min(n, len(items))) if items else 1
+        return ParallelCollectionRDD(self, items, n)

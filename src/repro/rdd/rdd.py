@@ -1,0 +1,352 @@
+"""Lazy, lineage-based RDDs.
+
+Narrow transformations (``map``, ``filter``, ``flat_map``, …) build a chain
+of per-partition compute functions; wide transformations
+(``reduce_by_key``, ``group_by_key``, ``join``, ``partition_by``,
+``sort_by``, ``distinct``) insert a hash shuffle: the parent is fully
+evaluated, its pairs are routed by :func:`~repro.mapreduce.shuffle.stable_hash`
+into the child's partitions, and the context's shuffle metrics are charged
+with the moved records/bytes.  Shuffle outputs are cached per RDD, so a
+lineage is never shuffled twice (Spark's stage reuse, simplified).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError, DataError
+from repro.mapreduce.shuffle import stable_hash
+from repro.mapreduce.sizer import estimate_pair_size, estimate_size
+
+Pair = Tuple[Any, Any]
+
+
+class RDD:
+    """Base class: a lazily evaluated, partitioned dataset."""
+
+    def __init__(self, context, n_partitions: int) -> None:
+        self.context = context
+        self.n_partitions = n_partitions
+
+    # -- to be provided by subclasses -----------------------------------
+    def compute(self, split: int) -> Iterator:
+        """Yield the elements of one partition."""
+        raise NotImplementedError
+
+    # -- narrow transformations ------------------------------------------
+    def map_partitions(self, fn: Callable[[Iterator], Iterable]) -> "RDD":
+        """Apply ``fn`` to each partition's iterator."""
+        return MapPartitionsRDD(self, fn)
+
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map_partitions(lambda items: (fn(item) for item in items))
+
+    def flat_map(self, fn: Callable[[Any], Iterable]) -> "RDD":
+        return self.map_partitions(
+            lambda items: (out for item in items for out in fn(item))
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return self.map_partitions(
+            lambda items: (item for item in items if predicate(item))
+        )
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Turn elements into ``(fn(x), x)`` pairs."""
+        return self.map(lambda item: (fn(item), item))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Apply ``fn`` to the value of each key/value pair."""
+        return self.map(lambda pair: (pair[0], fn(pair[1])))
+
+    def union(self, other: "RDD") -> "RDD":
+        if other.context is not self.context:
+            raise ConfigError("cannot union RDDs from different contexts")
+        return UnionRDD(self, other)
+
+    # -- wide transformations ---------------------------------------------
+    def partition_by(self, n_partitions: Optional[int] = None) -> "RDD":
+        """Hash-partition key/value pairs by key."""
+        return ShuffledRDD(self, self._resolve(n_partitions), combiner=None)
+
+    def combine_by_key(
+        self,
+        create: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+        n_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """The general aggregation primitive (Spark's combineByKey)."""
+        shuffled = ShuffledRDD(
+            self,
+            self._resolve(n_partitions),
+            combiner=(create, merge_value, merge_combiners),
+        )
+        return shuffled
+
+    def reduce_by_key(
+        self, fn: Callable[[Any, Any], Any], n_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Merge values per key with ``fn`` (map-side combining included)."""
+        return self.combine_by_key(lambda v: v, fn, fn, n_partitions)
+
+    def group_by_key(self, n_partitions: Optional[int] = None) -> "RDD":
+        """Collect all values per key into a list."""
+        return self.combine_by_key(
+            lambda v: [v],
+            lambda acc, v: (acc.append(v) or acc),
+            lambda a, b: a + b,
+            n_partitions,
+        )
+
+    def distinct(self, n_partitions: Optional[int] = None) -> "RDD":
+        return (
+            self.map(lambda item: (item, None))
+            .reduce_by_key(lambda a, b: a, n_partitions)
+            .map(lambda pair: pair[0])
+        )
+
+    def join(self, other: "RDD", n_partitions: Optional[int] = None) -> "RDD":
+        """Inner join on keys: ``(k, (v_self, v_other))``."""
+        return self.cogroup(other, n_partitions).flat_map(
+            lambda kv: (
+                (kv[0], (left, right))
+                for left in kv[1][0]
+                for right in kv[1][1]
+            )
+        )
+
+    def cogroup(self, other: "RDD", n_partitions: Optional[int] = None) -> "RDD":
+        """Group both RDDs' values per key: ``(k, (values_self, values_other))``."""
+        tagged = self.map(lambda kv: (kv[0], (0, kv[1]))).union(
+            other.map(lambda kv: (kv[0], (1, kv[1])))
+        )
+        def split_sides(tagged_values):
+            sides: Tuple[List, List] = ([], [])
+            for side, value in tagged_values:
+                sides[side].append(value)
+            return sides
+        return tagged.group_by_key(n_partitions).map_values(split_sides)
+
+    def sort_by(
+        self,
+        key_fn: Callable[[Any], Any],
+        ascending: bool = True,
+        n_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Globally sort (range-partitioned into ``n_partitions`` splits)."""
+        return SortedRDD(self, key_fn, ascending, self._resolve(n_partitions))
+
+    # -- persistence ------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Materialize partitions on first computation and reuse them."""
+        return CachedRDD(self)
+
+    # -- actions ------------------------------------------------------------
+    def collect(self) -> List:
+        self.context.metrics.stages += 1
+        return [item for split in range(self.n_partitions) for item in self.compute(split)]
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def first(self):
+        taken = self.take(1)
+        if not taken:
+            raise DataError("first() on an empty RDD")
+        return taken[0]
+
+    def take(self, n: int) -> List:
+        result: List = []
+        self.context.metrics.stages += 1
+        for split in range(self.n_partitions):
+            for item in self.compute(split):
+                result.append(item)
+                if len(result) >= n:
+                    return result
+        return result
+
+    def reduce(self, fn: Callable[[Any, Any], Any]):
+        items = self.collect()
+        if not items:
+            raise DataError("reduce() on an empty RDD")
+        return functools.reduce(fn, items)
+
+    def count_by_key(self) -> Dict[Any, int]:
+        counts: Dict[Any, int] = {}
+        for key, _ in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def collect_as_map(self) -> Dict:
+        return dict(self.collect())
+
+    # ----------------------------------------------------------------------
+    def _resolve(self, n_partitions: Optional[int]) -> int:
+        n = n_partitions or self.n_partitions
+        if n < 1:
+            raise ConfigError("n_partitions must be >= 1")
+        return n
+
+
+class ParallelCollectionRDD(RDD):
+    """Source RDD over a local sequence, split contiguously."""
+
+    def __init__(self, context, items, n_partitions: int) -> None:
+        super().__init__(context, n_partitions)
+        self._items = items
+
+    def compute(self, split: int) -> Iterator:
+        total = len(self._items)
+        base, extra = divmod(total, self.n_partitions)
+        start = split * base + min(split, extra)
+        length = base + (1 if split < extra else 0)
+        return iter(self._items[start : start + length])
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow transformation applied per parent partition."""
+
+    def __init__(self, parent: RDD, fn: Callable[[Iterator], Iterable]) -> None:
+        super().__init__(parent.context, parent.n_partitions)
+        self._parent = parent
+        self._fn = fn
+
+    def compute(self, split: int) -> Iterator:
+        return iter(self._fn(self._parent.compute(split)))
+
+
+class UnionRDD(RDD):
+    """Concatenation of two RDDs' partition lists (no shuffle)."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, left.n_partitions + right.n_partitions)
+        self._left = left
+        self._right = right
+
+    def compute(self, split: int) -> Iterator:
+        if split < self._left.n_partitions:
+            return self._left.compute(split)
+        return self._right.compute(split - self._left.n_partitions)
+
+
+class ShuffledRDD(RDD):
+    """Hash shuffle of key/value pairs, with optional map-side combining.
+
+    ``combiner`` is ``(create, merge_value, merge_combiners)`` or ``None``
+    (plain repartition, values kept as-is in arrival order).
+    """
+
+    def __init__(self, parent: RDD, n_partitions: int, combiner) -> None:
+        super().__init__(parent.context, n_partitions)
+        self._parent = parent
+        self._combiner = combiner
+        self._blocks: Optional[List[List[Pair]]] = None
+
+    def _materialize(self) -> List[List[Pair]]:
+        if self._blocks is not None:
+            return self._blocks
+        metrics = self.context.metrics
+        metrics.stages += 1
+        create = merge_value = merge_combiners = None
+        if self._combiner is not None:
+            create, merge_value, merge_combiners = self._combiner
+
+        # Map side: per parent partition, optionally pre-combine, then
+        # route to reduce blocks while charging the shuffle.
+        staged: List[Dict[Any, Any]] = [dict() for _ in range(self.n_partitions)]
+        plain: List[List[Pair]] = [[] for _ in range(self.n_partitions)]
+        shuffle_records = 0
+        shuffle_bytes = 0
+        for split in range(self._parent.n_partitions):
+            if self._combiner is not None:
+                local: Dict[Any, Any] = {}
+                for key, value in self._parent.compute(split):
+                    if key in local:
+                        local[key] = merge_value(local[key], value)
+                    else:
+                        local[key] = create(value)
+                for key, combined in local.items():
+                    shuffle_records += 1
+                    shuffle_bytes += estimate_pair_size(key, combined)
+                    target = staged[stable_hash(key) % self.n_partitions]
+                    if key in target:
+                        target[key] = merge_combiners(target[key], combined)
+                    else:
+                        target[key] = combined
+            else:
+                for key, value in self._parent.compute(split):
+                    shuffle_records += 1
+                    shuffle_bytes += estimate_pair_size(key, value)
+                    plain[stable_hash(key) % self.n_partitions].append((key, value))
+        metrics.record_shuffle(shuffle_records, shuffle_bytes)
+
+        if self._combiner is not None:
+            self._blocks = [sorted(block.items(), key=_key_order) for block in staged]
+        else:
+            self._blocks = plain
+        return self._blocks
+
+    def compute(self, split: int) -> Iterator:
+        return iter(self._materialize()[split])
+
+
+class SortedRDD(RDD):
+    """Global sort: full shuffle into contiguous ordered ranges."""
+
+    def __init__(self, parent: RDD, key_fn, ascending: bool, n_partitions: int) -> None:
+        super().__init__(parent.context, n_partitions)
+        self._parent = parent
+        self._key_fn = key_fn
+        self._ascending = ascending
+        self._blocks: Optional[List[List]] = None
+
+    def _materialize(self) -> List[List]:
+        if self._blocks is not None:
+            return self._blocks
+        metrics = self.context.metrics
+        metrics.stages += 1
+        items = [
+            item
+            for split in range(self._parent.n_partitions)
+            for item in self._parent.compute(split)
+        ]
+        metrics.record_shuffle(
+            len(items), sum(estimate_size(item) for item in items)
+        )
+        items.sort(key=self._key_fn, reverse=not self._ascending)
+        base, extra = divmod(len(items), self.n_partitions)
+        blocks = []
+        start = 0
+        for split in range(self.n_partitions):
+            length = base + (1 if split < extra else 0)
+            blocks.append(items[start : start + length])
+            start += length
+        self._blocks = blocks
+        return blocks
+
+    def compute(self, split: int) -> Iterator:
+        return iter(self._materialize()[split])
+
+
+class CachedRDD(RDD):
+    """Materializes parent partitions once and serves them from memory."""
+
+    def __init__(self, parent: RDD) -> None:
+        super().__init__(parent.context, parent.n_partitions)
+        self._parent = parent
+        self._cache: Dict[int, List] = {}
+
+    def compute(self, split: int) -> Iterator:
+        if split not in self._cache:
+            self._cache[split] = list(self._parent.compute(split))
+        return iter(self._cache[split])
+
+
+def _key_order(pair: Pair):
+    """Deterministic ordering of combined keys within a block."""
+    key = pair[0]
+    if isinstance(key, (int, float, str, tuple)):
+        return (0, key)
+    return (1, repr(key))

@@ -1,0 +1,132 @@
+"""FS-Join expressed as an RDD program (the paper's Spark future work).
+
+The pipeline mirrors the three MapReduce jobs one-to-one and reuses the
+exact same core operators (pivot selection, vertical partitioner, filter
+battery, fragment joins, threshold algebra), so the two implementations
+can be equivalence-tested against each other:
+
+1. token frequencies via ``flat_map`` + ``reduce_by_key`` → global ordering
+   (collected at the driver, like the broadcast in Algorithm 1's SetUp);
+2. segments via ``flat_map`` keyed by ``(horizontal, vertical)`` partition,
+   fragments via ``group_by_key``, partial counts via the shared
+   ``join_fragment``;
+3. per-pair aggregation via ``reduce_by_key`` + threshold ``filter``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.config import FSJoinConfig
+from repro.core.horizontal import build_horizontal_plan
+from repro.core.joins import join_fragment
+from repro.core.ordering import GlobalOrder
+from repro.core.partitioning import VerticalPartitioner
+from repro.core.pivots import select_pivots
+from repro.data.records import RecordCollection
+from repro.rdd.context import MiniSparkContext
+from repro.similarity.thresholds import (
+    passes_threshold,
+    similarity_from_overlap,
+)
+
+PairScores = Dict[Tuple[int, int], float]
+
+
+def fsjoin_rdd(
+    ctx: MiniSparkContext,
+    records: RecordCollection,
+    config: FSJoinConfig,
+) -> PairScores:
+    """Self-join ``records``; returns ``(rid_small, rid_large) → score``."""
+    base = ctx.parallelize(
+        [(record.rid, record.tokens) for record in records]
+    ).cache()
+
+    # Stage 1: global ordering (driver-side broadcast, as in the paper).
+    frequencies = (
+        base.flat_map(lambda kv: ((token, 1) for token in kv[1]))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    order = GlobalOrder(frequencies)
+    cuts = select_pivots(
+        order.rank_frequencies,
+        config.n_vertical,
+        method=config.pivot_method,
+        seed=config.pivot_seed,
+    )
+    partitioner = VerticalPartitioner(cuts)
+    horizontal = build_horizontal_plan(
+        [record.size for record in records],
+        config.n_horizontal,
+        config.theta,
+        config.func,
+    )
+    rank_of = {order.token(rank): rank for rank in range(order.vocab_size)}
+
+    # Stage 2: vertical (+ horizontal) partitioning into fragments.
+    def to_segments(kv):
+        rid, tokens = kv
+        ranks = tuple(sorted(rank_of[token] for token in tokens))
+        if not ranks:
+            return
+        segments = partitioner.split(rid, ranks)
+        for h in horizontal.partitions_of(len(ranks)):
+            for v, segment in segments:
+                yield ((h, v), segment)
+
+    fragments = base.flat_map(to_segments).group_by_key(
+        n_partitions=max(1, ctx.default_parallelism)
+    )
+
+    # Stage 3: per-fragment joins → partial counts.
+    def join_one_fragment(kv):
+        (h, _v), segments = kv
+        if horizontal.is_boundary(h):
+            pivot = horizontal.boundary_pivot(h)
+
+            def pair_allowed(seg_a, seg_b):
+                len_a, len_b = seg_a.info.str_len, seg_b.info.str_len
+                low, high = (len_a, len_b) if len_a <= len_b else (len_b, len_a)
+                return low < pivot <= high
+
+        else:
+            pair_allowed = None
+        emitted = []
+
+        def emit_pair(rid_s, len_s, rid_t, len_t, common):
+            emitted.append(((rid_s, rid_t), (common, len_s, len_t)))
+
+        join_fragment(
+            list(segments),
+            method=config.join_method,
+            theta=config.theta,
+            func=config.func,
+            filter_config=config.filters,
+            emit_pair=emit_pair,
+            pair_allowed=pair_allowed,
+        )
+        return emitted
+
+    partial_counts = fragments.flat_map(join_one_fragment)
+
+    # Stage 4: aggregate counts, verify without the original records.
+    def merge_counts(a, b):
+        return (a[0] + b[0], a[1], a[2])
+
+    results = (
+        partial_counts.reduce_by_key(merge_counts)
+        .filter(
+            lambda kv: passes_threshold(
+                config.func, config.theta, kv[1][0], kv[1][1], kv[1][2]
+            )
+        )
+        .map(
+            lambda kv: (
+                kv[0],
+                similarity_from_overlap(config.func, kv[1][0], kv[1][1], kv[1][2]),
+            )
+        )
+    )
+    return results.collect_as_map()

@@ -1,0 +1,84 @@
+"""Set-based similarity functions.
+
+The paper (Section V-B) verifies candidates under three similarity functions:
+Jaccard, Dice and Cosine.  All three are defined over token *sets*; callers
+may pass any iterable of hashable tokens, but passing ``frozenset``/``set``
+avoids a conversion.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import AbstractSet, Iterable, Union
+
+TokenSet = Union[AbstractSet, Iterable]
+
+
+class SimilarityFunction(str, enum.Enum):
+    """The similarity functions supported throughout the package."""
+
+    JACCARD = "jaccard"
+    DICE = "dice"
+    COSINE = "cosine"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _as_set(tokens: TokenSet) -> AbstractSet:
+    if isinstance(tokens, (set, frozenset)):
+        return tokens
+    return set(tokens)
+
+
+def overlap(s: TokenSet, t: TokenSet) -> int:
+    """Return ``|s ∩ t|``, the number of common tokens."""
+    a, b = _as_set(s), _as_set(t)
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(1 for token in a if token in b)
+
+
+def jaccard(s: TokenSet, t: TokenSet) -> float:
+    """Jaccard similarity ``|s ∩ t| / |s ∪ t|``.
+
+    Two empty sets are defined to have similarity 0.0 (an empty record can
+    never reach a positive threshold, matching the join semantics).
+    """
+    a, b = _as_set(s), _as_set(t)
+    inter = overlap(a, b)
+    union = len(a) + len(b) - inter
+    return inter / union if union else 0.0
+
+
+def dice(s: TokenSet, t: TokenSet) -> float:
+    """Dice similarity ``2|s ∩ t| / (|s| + |t|)``."""
+    a, b = _as_set(s), _as_set(t)
+    total = len(a) + len(b)
+    return 2.0 * overlap(a, b) / total if total else 0.0
+
+
+def cosine(s: TokenSet, t: TokenSet) -> float:
+    """Cosine similarity for sets: ``|s ∩ t| / sqrt(|s| · |t|)``."""
+    a, b = _as_set(s), _as_set(t)
+    if not a or not b:
+        return 0.0
+    return overlap(a, b) / math.sqrt(len(a) * len(b))
+
+
+_FUNCTIONS = {
+    SimilarityFunction.JACCARD: jaccard,
+    SimilarityFunction.DICE: dice,
+    SimilarityFunction.COSINE: cosine,
+}
+
+
+def get_similarity_function(name: Union[str, SimilarityFunction]):
+    """Return the callable for a similarity function name.
+
+    Accepts either a :class:`SimilarityFunction` or its string value
+    (case-insensitive).
+    """
+    func = SimilarityFunction(str(name).lower())
+    return _FUNCTIONS[func]

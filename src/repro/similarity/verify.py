@@ -1,0 +1,54 @@
+"""Exact verification of candidate pairs.
+
+Verification computes the true intersection size of two token lists.  When
+both lists are sorted under the same global ordering a linear merge suffices
+(the ``O(m + n)`` case the paper mentions); unsorted inputs fall back to a
+hash-set intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import passes_threshold, similarity_from_overlap
+
+
+def intersection_size(
+    s: Sequence, t: Sequence, sorted_input: bool = False
+) -> int:
+    """Return ``|set(s) ∩ set(t)|``.
+
+    With ``sorted_input=True`` both sequences must be strictly increasing
+    under a shared total order (tokens are unique within a record); a linear
+    merge is used.  Otherwise a hash intersection is used.
+    """
+    if not sorted_input:
+        return len(frozenset(s) & frozenset(t))
+    i = j = count = 0
+    len_s, len_t = len(s), len(t)
+    while i < len_s and j < len_t:
+        a, b = s[i], t[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def verify_pair(
+    s: Sequence,
+    t: Sequence,
+    theta: float,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    sorted_input: bool = False,
+) -> Optional[float]:
+    """Verify one candidate pair; return its score if ``sim ≥ θ`` else None."""
+    common = intersection_size(s, t, sorted_input=sorted_input)
+    if passes_threshold(func, theta, common, len(s), len(t)):
+        return similarity_from_overlap(func, common, len(s), len(t))
+    return None

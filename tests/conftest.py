@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import pytest
+
+from repro.data.records import Record, RecordCollection
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+
+
+def random_collection(
+    n: int,
+    vocab: int = 50,
+    max_len: int = 20,
+    dup_prob: float = 0.4,
+    mutation: float = 0.15,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> RecordCollection:
+    """A random collection with planted near-duplicates.
+
+    ``dup_prob`` of the records clone an earlier record with ``mutation``
+    of its tokens replaced, so joins at realistic thresholds have results.
+    """
+    rng = rng or random.Random(seed)
+    tokens = [f"t{i:03d}" for i in range(vocab)]
+    records = []
+    for rid in range(n):
+        if records and rng.random() < dup_prob:
+            base = list(rng.choice(records).tokens)
+            for _ in range(max(0, int(len(base) * mutation))):
+                if base:
+                    base[rng.randrange(len(base))] = rng.choice(tokens)
+            records.append(Record.make(rid, base))
+        else:
+            length = rng.randint(1, max_len)
+            records.append(Record.make(rid, rng.sample(tokens, min(length, vocab))))
+    return RecordCollection(records)
+
+
+@pytest.fixture
+def small_records() -> RecordCollection:
+    """A tiny deterministic collection with known near-duplicates."""
+    return RecordCollection.from_token_lists(
+        [
+            ["a", "b", "c", "d", "e"],
+            ["a", "b", "c", "d", "f"],  # jaccard 4/6 with rid 0
+            ["a", "b", "c", "d", "e"],  # identical to rid 0
+            ["x", "y", "z"],
+            ["x", "y", "z", "w"],  # jaccard 3/4 with rid 3
+            ["q"],
+        ]
+    )
+
+
+@pytest.fixture
+def medium_records() -> RecordCollection:
+    return random_collection(80, vocab=60, max_len=25, seed=11)
+
+
+@pytest.fixture
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterSpec(workers=4, map_slots=2, reduce_slots=2))
+
+
+# The paper-figure example from Fig. 2: strings over tokens A..K.
+PAPER_FIG2 = [
+    ["B", "C", "I", "J", "K"],
+    ["B", "C", "E", "F", "G"],
+    ["A", "D", "H", "I", "J"],
+    ["B", "D", "E", "H", "K"],
+]
+
+
+@pytest.fixture
+def paper_records() -> RecordCollection:
+    return RecordCollection.from_token_lists(PAPER_FIG2)

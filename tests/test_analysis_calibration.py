@@ -1,0 +1,55 @@
+"""Tests for the cost-model calibrations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import MEASURED, PAPER_SCALE, SCALE_RATIO
+from repro.mapreduce.costmodel import CostModel, simulate_job_time
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.runtime import ClusterSpec
+
+
+def _metrics(shuffle_bytes=10**6, compute=1.0):
+    metrics = JobMetrics(job_name="j")
+    metrics.map_tasks.append(TaskMetrics(task_id=0, compute_seconds=compute))
+    metrics.reduce_tasks.append(TaskMetrics(task_id=0, compute_seconds=compute))
+    metrics.shuffle_bytes = shuffle_bytes
+    return metrics
+
+
+class TestCalibrations:
+    def test_measured_is_identity(self):
+        assert MEASURED == CostModel()
+
+    def test_paper_scale_bandwidth_ratio(self):
+        assert MEASURED.shuffle_bandwidth_per_worker == pytest.approx(
+            PAPER_SCALE.shuffle_bandwidth_per_worker * SCALE_RATIO
+        )
+        assert MEASURED.dfs_bandwidth_per_worker == pytest.approx(
+            PAPER_SCALE.dfs_bandwidth_per_worker * SCALE_RATIO
+        )
+
+    def test_paper_scale_compresses_compute(self):
+        assert PAPER_SCALE.compute_scale < MEASURED.compute_scale
+
+    def test_paper_scale_weights_shuffle_more(self):
+        """Under PAPER_SCALE the shuffle share of total time grows."""
+        spec = ClusterSpec(workers=10)
+        metrics = _metrics(shuffle_bytes=5 * 10**6, compute=2.0)
+        measured = simulate_job_time(metrics, spec, MEASURED)
+        scaled = simulate_job_time(metrics, spec, PAPER_SCALE)
+        measured_share = measured.shuffle_s / measured.total_s
+        scaled_share = scaled.shuffle_s / scaled.total_s
+        assert scaled_share > measured_share
+
+    def test_relative_ordering_preserved(self):
+        """A bigger shuffle is slower under either calibration."""
+        spec = ClusterSpec(workers=10)
+        small = _metrics(shuffle_bytes=10**5)
+        large = _metrics(shuffle_bytes=10**8)
+        for model in (MEASURED, PAPER_SCALE):
+            assert (
+                simulate_job_time(large, spec, model).total_s
+                > simulate_job_time(small, spec, model).total_s
+            )

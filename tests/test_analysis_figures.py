@@ -1,0 +1,75 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.figures import render_series
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_empty_series(self):
+        with pytest.raises(ConfigError):
+            render_series([1, 2], {})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_series([1, 2], {"a": [1.0]})
+
+    def test_too_small(self):
+        with pytest.raises(ConfigError):
+            render_series([1], {"a": [1.0]}, width=2, height=2)
+
+
+class TestRendering:
+    def test_contains_title_and_legend(self):
+        chart = render_series(
+            [0.75, 0.85, 0.95],
+            {"FS-Join": [10.0, 6.0, 3.0], "RIDPairs": [40.0, 20.0, 8.0]},
+            title="runtime vs theta",
+        )
+        assert "runtime vs theta" in chart
+        assert "o FS-Join" in chart
+        assert "x RIDPairs" in chart
+
+    def test_axis_labels(self):
+        chart = render_series([1, 2, 3], {"a": [0.0, 5.0, 10.0]}, y_label="s")
+        assert "10 s" in chart
+        assert "0 s" in chart
+        lines = chart.splitlines()
+        assert lines[-2].strip().startswith("1")
+        assert lines[-2].strip().endswith("3")
+
+    def test_monotone_series_monotone_rows(self):
+        chart = render_series([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, height=9, width=20)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        rows = [
+            (line_no, line.index("o"))
+            for line_no, line in enumerate(plot_lines)
+            if "o" in line
+        ]
+        # Scanning top to bottom: the highest value (latest x) comes first,
+        # so line numbers increase while columns decrease.
+        assert all(a[0] < b[0] and a[1] > b[1] for a, b in zip(rows, rows[1:]))
+
+    def test_flat_series(self):
+        chart = render_series([1, 2], {"a": [5.0, 5.0]})
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = render_series([1], {"a": [2.0]})
+        assert "o" in chart
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=12),
+        st.integers(10, 80),
+        st.integers(4, 20),
+    )
+    def test_never_crashes_and_markers_present(self, ys, width, height):
+        chart = render_series(list(range(len(ys))), {"s": ys}, width=width, height=height)
+        assert chart.count("o") >= 1
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == height

@@ -1,0 +1,86 @@
+"""Tests for the distributed MinHash-LSH join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx import DistributedLSHJoin, LSHJoin, evaluate_approximate
+from repro.baselines.naive import naive_self_join
+from repro.data import make_corpus
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus("wiki", 200, seed=5, mutation_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def truth(corpus):
+    return naive_self_join(corpus, 0.8)
+
+
+class TestValidation:
+    def test_bad_theta(self):
+        with pytest.raises(ConfigError):
+            DistributedLSHJoin(0.0)
+
+    def test_partial_band_config(self):
+        with pytest.raises(ConfigError):
+            DistributedLSHJoin(0.8, bands=4)
+
+    def test_band_budget(self):
+        with pytest.raises(ConfigError):
+            DistributedLSHJoin(0.8, num_perm=8, bands=4, rows=4)
+
+
+class TestResults:
+    def test_precision_one(self, corpus, truth, cluster):
+        result = DistributedLSHJoin(0.8, cluster=cluster, seed=2).run(corpus)
+        quality = evaluate_approximate(result.result_set(), truth)
+        assert quality.precision == 1.0
+        for pair, score in result.result_pairs.items():
+            assert score == pytest.approx(truth[pair])
+
+    def test_recall_reasonable(self, corpus, truth, cluster):
+        result = DistributedLSHJoin(0.8, num_perm=128, cluster=cluster, seed=2).run(corpus)
+        assert evaluate_approximate(result.result_set(), truth).recall > 0.7
+
+    def test_matches_local_lsh(self, corpus, cluster):
+        """Same signatures, same bands → identical reported pairs."""
+        local = LSHJoin(0.8, num_perm=64, seed=9).run(corpus)
+        distributed = DistributedLSHJoin(
+            0.8, num_perm=64, cluster=cluster, seed=9
+        ).run(corpus)
+        assert distributed.result_set() == frozenset(local)
+
+    def test_two_jobs(self, corpus, cluster):
+        result = DistributedLSHJoin(0.8, cluster=cluster).run(corpus)
+        assert [m.job_name for m in result.job_metrics()] == [
+            "lsh-banding",
+            "lsh-verify",
+        ]
+
+    def test_empty_collection(self, cluster):
+        from repro.data.records import RecordCollection
+
+        result = DistributedLSHJoin(0.8, cluster=cluster).run(RecordCollection())
+        assert result.pairs == []
+
+
+class TestShuffleProperties:
+    def test_constant_signatures_per_record(self, corpus, cluster):
+        """Banding emits exactly `bands` records per input record —
+        independent of record length and threshold (unlike prefix keys)."""
+        join = DistributedLSHJoin(0.8, num_perm=64, cluster=cluster)
+        result = join.run(corpus)
+        banding = result.job_results[0].metrics
+        non_empty = sum(1 for r in corpus if r.tokens)
+        assert banding.map_output_records == join.bands * non_empty
+
+    def test_shuffle_smaller_than_fsjoin(self, corpus, cluster):
+        from repro.core import FSJoin, FSJoinConfig
+
+        lsh = DistributedLSHJoin(0.8, num_perm=64, cluster=cluster).run(corpus)
+        fsjoin = FSJoin(FSJoinConfig(theta=0.8, n_vertical=30), cluster).run(corpus)
+        assert lsh.total_shuffle_bytes() < fsjoin.total_shuffle_bytes()

@@ -1,0 +1,136 @@
+"""Tests for the MassJoin baseline (Merge and Merge+Light)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.massjoin import MassJoin, domain_slice, partition_count
+from repro.baselines.naive import naive_self_join
+from repro.errors import ConfigError, ExecutionError
+from repro.similarity.functions import SimilarityFunction
+from tests.conftest import random_collection
+
+
+class TestPartitionCount:
+    def test_jaccard_formula(self):
+        """m = a + b − 2τ + 1; θ=0.8, a=b=10 → τ=9 → m=3."""
+        assert partition_count(SimilarityFunction.JACCARD, 0.8, 10, 10) == 3
+
+    def test_at_least_one(self):
+        assert partition_count(SimilarityFunction.JACCARD, 1.0, 5, 5) == 1
+
+    @given(
+        st.sampled_from(list(SimilarityFunction)),
+        st.sampled_from([0.6, 0.8, 0.9]),
+        st.integers(1, 60),
+        st.integers(1, 60),
+    )
+    def test_pigeonhole_budget(self, func, theta, a, b):
+        """m exceeds the symmetric-difference budget of any similar pair."""
+        from repro.similarity.thresholds import required_overlap
+
+        m = partition_count(func, theta, a, b)
+        tau = required_overlap(func, theta, a, b)
+        assert m >= a + b - 2 * tau + 1 or m == 1
+
+
+class TestDomainSlice:
+    def test_slices_partition_record(self):
+        ranks = (0, 3, 7, 12, 19)
+        slices = [domain_slice(ranks, 20, j, 4) for j in range(4)]
+        assert tuple(t for s in slices for t in s) == ranks
+
+    def test_empty_slice(self):
+        assert domain_slice((0, 1), 20, 3, 4) == ()
+
+    @given(
+        st.lists(st.integers(0, 49), unique=True).map(lambda xs: tuple(sorted(xs))),
+        st.integers(1, 10),
+    )
+    def test_slices_disjoint_and_complete(self, ranks, m):
+        slices = [domain_slice(ranks, 50, j, m) for j in range(m)]
+        assert tuple(t for s in slices for t in s) == ranks
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError):
+            MassJoin(0.8, variant="turbo")
+
+    def test_bad_group_size(self):
+        with pytest.raises(ConfigError):
+            MassJoin(0.8, variant="merge+light", light_group_size=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["merge", "merge+light"])
+    def test_matches_oracle(self, variant, cluster):
+        records = random_collection(45, seed=3)
+        theta = 0.75
+        result = MassJoin(theta, cluster=cluster, variant=variant).run(records)
+        oracle = naive_self_join(records, theta)
+        assert result.result_set() == frozenset(oracle)
+        for pair, score in result.result_pairs.items():
+            assert score == pytest.approx(oracle[pair])
+
+    @pytest.mark.parametrize("func", list(SimilarityFunction))
+    def test_functions(self, func, cluster):
+        records = random_collection(35, seed=7)
+        result = MassJoin(0.8, func, cluster).run(records)
+        assert result.result_set() == frozenset(naive_self_join(records, 0.8, func))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        group=st.integers(2, 8),
+        theta=st.sampled_from([0.7, 0.85]),
+    )
+    def test_light_any_group_size(self, seed, group, theta):
+        records = random_collection(30, seed=seed)
+        join = MassJoin(theta, variant="merge+light", light_group_size=group)
+        assert join.run(records).result_set() == frozenset(
+            naive_self_join(records, theta)
+        )
+
+    def test_four_jobs(self, cluster):
+        records = random_collection(20, seed=1)
+        result = MassJoin(0.8, cluster=cluster).run(records)
+        assert [m.job_name for m in result.job_metrics()] == [
+            "fsjoin-ordering",
+            "massjoin-signatures",
+            "massjoin-dedup",
+            "massjoin-verify",
+        ]
+
+
+class TestPaperClaims:
+    def test_signature_explosion(self, cluster):
+        """Map output records dwarf the input (the 105 GB/1.65 GB story)."""
+        records = random_collection(40, max_len=25, seed=9)
+        result = MassJoin(0.8, cluster=cluster).run(records)
+        signatures = result.job_results[1].metrics
+        assert signatures.duplication_record_factor() > 10
+
+    def test_light_reduces_signatures(self, cluster):
+        records = random_collection(40, max_len=25, seed=9)
+        merge = MassJoin(0.8, cluster=cluster).run(records)
+        light = MassJoin(0.8, cluster=cluster, variant="merge+light").run(records)
+        assert (
+            light.job_results[1].metrics.map_output_records
+            < merge.job_results[1].metrics.map_output_records
+        )
+
+    def test_estimate_matches_actual(self, cluster):
+        records = random_collection(25, seed=4)
+        join = MassJoin(0.8, cluster=cluster)
+        estimate = join.estimated_signatures(records)
+        result = join.run(records)
+        assert result.counters().get("massjoin.map", "signatures") == estimate
+
+    def test_dnf_on_budget_exceeded(self, cluster):
+        records = random_collection(40, seed=9)
+        join = MassJoin(0.8, cluster=cluster, max_signatures=100)
+        with pytest.raises(ExecutionError, match="does not finish"):
+            join.run(records)

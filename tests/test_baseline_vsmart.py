@@ -1,0 +1,73 @@
+"""Tests for the V-Smart-Join baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import naive_self_join
+from repro.baselines.vsmart import VSmartJoin
+from repro.errors import ExecutionError
+from repro.similarity.functions import SimilarityFunction
+from tests.conftest import random_collection
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, medium_records, cluster):
+        result = VSmartJoin(0.7, cluster=cluster).run(medium_records)
+        oracle = naive_self_join(medium_records, 0.7)
+        assert result.result_set() == frozenset(oracle)
+        for pair, score in result.result_pairs.items():
+            assert score == pytest.approx(oracle[pair])
+
+    @pytest.mark.parametrize("func", list(SimilarityFunction))
+    def test_functions(self, func, cluster):
+        records = random_collection(45, seed=29)
+        result = VSmartJoin(0.7, func, cluster).run(records)
+        assert result.result_set() == frozenset(naive_self_join(records, 0.7, func))
+
+    def test_two_jobs_no_ordering(self, medium_records, cluster):
+        """V-Smart-Join needs no global ordering (no filtering at all)."""
+        result = VSmartJoin(0.7, cluster=cluster).run(medium_records)
+        assert [m.job_name for m in result.job_metrics()] == [
+            "vsmart-join",
+            "vsmart-similarity",
+        ]
+
+
+class TestPaperClaims:
+    def test_threshold_insensitive_shuffle(self, medium_records, cluster):
+        """θ is applied only in the last reduce, so the intermediate volume
+        is identical across thresholds (Fig. 7 discussion)."""
+        low = VSmartJoin(0.5, cluster=cluster).run(medium_records)
+        high = VSmartJoin(0.95, cluster=cluster).run(medium_records)
+        assert (
+            low.job_results[0].metrics.shuffle_records
+            == high.job_results[0].metrics.shuffle_records
+        )
+        assert (
+            low.job_results[0].metrics.output_records
+            == high.job_results[0].metrics.output_records
+        )
+
+    def test_enumeration_estimate_exact(self, medium_records, cluster):
+        join = VSmartJoin(0.7, cluster=cluster)
+        estimate = join.estimated_intermediate_pairs(medium_records)
+        result = join.run(medium_records)
+        assert result.job_results[0].metrics.output_records == estimate
+
+    def test_dnf_on_budget_exceeded(self, medium_records, cluster):
+        join = VSmartJoin(0.7, cluster=cluster, max_intermediate_pairs=10)
+        with pytest.raises(ExecutionError, match="does not finish"):
+            join.run(medium_records)
+
+    def test_no_budget_always_runs(self, cluster):
+        records = random_collection(30, seed=2)
+        join = VSmartJoin(0.8, cluster=cluster, max_intermediate_pairs=None)
+        join.run(records)  # must not raise
+
+    def test_intermediate_dwarfs_candidates(self, cluster):
+        """Enumerated pairs vastly exceed the number of real results."""
+        records = random_collection(60, seed=37)
+        result = VSmartJoin(0.8, cluster=cluster).run(records)
+        enumerated = result.counters().get("vsmart.join", "pairs_enumerated")
+        assert enumerated > 10 * max(1, len(result.pairs))

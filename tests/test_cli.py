@@ -1,0 +1,135 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_records, make_corpus, save_records
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.txt"
+    save_records(make_corpus("wiki", 80, seed=3), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "out.txt"
+        code = main(["generate", "--corpus", "wiki", "--records", "40",
+                     "--seed", "1", "--output", str(out)])
+        assert code == 0
+        assert len(load_records(out)) == 40
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "--records", "30", "--seed", "9", "--output", str(a)])
+        main(["generate", "--records", "30", "--seed", "9", "--output", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestStats:
+    def test_prints_rows(self, corpus_file, capsys):
+        assert main(["stats", corpus_file]) == 0
+        out = capsys.readouterr().out
+        assert "records\t80" in out
+        assert "vocab\t" in out
+
+
+class TestJoin:
+    def test_self_join_tsv(self, corpus_file, capsys):
+        code = main(["join", corpus_file, "--theta", "0.8",
+                     "--vertical", "6", "--quiet"])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        for line in lines:
+            rid_a, rid_b, score = line.split("\t")
+            assert int(rid_a) < int(rid_b)
+            assert 0.8 <= float(score) <= 1.0
+
+    @pytest.mark.parametrize("algorithm", ["ridpairs", "vsmart", "massjoin"])
+    def test_algorithms_agree(self, corpus_file, capsys, algorithm):
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet"])
+        fsjoin_out = set(capsys.readouterr().out.splitlines())
+        main(["join", corpus_file, "--theta", "0.8", "--quiet",
+              "--algorithm", algorithm])
+        assert set(capsys.readouterr().out.splitlines()) == fsjoin_out
+
+    def test_rs_join(self, corpus_file, tmp_path, capsys):
+        right = tmp_path / "right.txt"
+        save_records(make_corpus("wiki", 60, seed=4), right)
+        code = main(["join", corpus_file, "--right", str(right),
+                     "--theta", "0.8", "--vertical", "6", "--quiet"])
+        assert code == 0
+
+    def test_rs_join_wrong_algorithm(self, corpus_file, tmp_path, capsys):
+        right = tmp_path / "right.txt"
+        save_records(make_corpus("wiki", 10, seed=4), right)
+        code = main(["join", corpus_file, "--right", str(right),
+                     "--algorithm", "vsmart"])
+        assert code == 2
+
+    def test_metrics_summary_on_stderr(self, corpus_file, capsys):
+        main(["join", corpus_file, "--theta", "0.9", "--vertical", "6"])
+        err = capsys.readouterr().err
+        assert "pairs" in err and "shuffle" in err
+
+
+class TestTopK:
+    def test_k_rows(self, corpus_file, capsys):
+        code = main(["topk", corpus_file, "-k", "3", "--workers", "4"])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 3
+        scores = [float(line.split("\t")[2]) for line in lines]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEstimate:
+    def test_estimate_rows(self, corpus_file, capsys):
+        code = main(["estimate", corpus_file, "--theta", "0.8",
+                     "--sample-size", "40", "--trials", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated_pairs\t" in out
+        assert "sample_size\t40" in out
+
+    def test_estimate_deterministic(self, corpus_file, capsys):
+        main(["estimate", corpus_file, "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["estimate", corpus_file, "--seed", "3"])
+        assert capsys.readouterr().out == first
+
+
+class TestLSHAlgorithm:
+    def test_lsh_join_runs(self, corpus_file, capsys):
+        code = main(["join", corpus_file, "--theta", "0.8",
+                     "--algorithm", "lsh", "--quiet"])
+        assert code == 0
+        for line in capsys.readouterr().out.splitlines():
+            rid_a, rid_b, score = line.split("\t")
+            assert float(score) >= 0.8 - 1e-9
+
+    def test_lsh_subset_of_exact(self, corpus_file, capsys):
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet"])
+        exact = set(capsys.readouterr().out.splitlines())
+        main(["join", corpus_file, "--theta", "0.8", "--algorithm", "lsh",
+              "--quiet"])
+        approx = set(capsys.readouterr().out.splitlines())
+        assert approx <= exact
+
+
+class TestErrors:
+    def test_missing_stats_file(self, capsys):
+        code = main(["stats", "/nonexistent/path.txt"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_join_file(self, tmp_path, capsys):
+        code = main(["join", str(tmp_path / "missing.txt"), "--quiet"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,154 @@
+"""Tests for the four fragment filters (Lemmas 1–4).
+
+The crucial property is *safety*: a filter may only prune pairs whose true
+similarity is below θ.  Completeness is intentionally not required (filters
+are allowed to keep dissimilar pairs; verification removes them).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FilterConfig
+from repro.core.filters import FragmentFilters
+from repro.core.joins import merge_intersection
+from repro.core.partitioning import VerticalPartitioner
+from repro.errors import ConfigError
+from repro.similarity.functions import SimilarityFunction, get_similarity_function
+
+rank_sets = st.lists(st.integers(0, 59), min_size=1, max_size=25, unique=True).map(
+    lambda xs: tuple(sorted(xs))
+)
+cut_sets = st.lists(st.integers(1, 59), min_size=0, max_size=6, unique=True).map(
+    lambda xs: tuple(sorted(xs))
+)
+thetas = st.sampled_from([0.5, 0.6, 0.75, 0.8, 0.9, 0.95])
+funcs = st.sampled_from(list(SimilarityFunction))
+
+
+class TestFilterConfig:
+    def test_default_all_on(self):
+        config = FilterConfig()
+        assert config.strl and config.segl and config.segi and config.segd
+
+    def test_none(self):
+        config = FilterConfig.none()
+        assert not (config.strl or config.segl or config.segi or config.segd)
+
+    def test_only(self):
+        config = FilterConfig.only("strl", "segd")
+        assert config.strl and config.segd
+        assert not config.segl and not config.segi
+
+    def test_only_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            FilterConfig.only("bogus")
+
+
+class TestKnownCases:
+    def test_paper_example_2(self):
+        """Example 2: s='A,B,D,E,G', t='B,D,E,F,K', θ=0.8, pivots {D, G}.
+
+        The paper concludes the pair is pruned without verification
+        (sim = 3/7 < 0.8).  Our segment boundaries differ slightly (a pivot
+        token starts the next segment rather than ending the previous one),
+        so the check is the behavioural one: no fragment ever emits a
+        partial count for this pair.
+        """
+        partitioner = VerticalPartitioner((3, 6))  # cut ranks of D and G
+        seg_s = dict(partitioner.split(0, (0, 1, 3, 4, 6)))
+        seg_t = dict(partitioner.split(1, (1, 3, 4, 5, 10)))
+        filters = FragmentFilters(0.8, SimilarityFunction.JACCARD, FilterConfig())
+        for i in set(seg_s) & set(seg_t):
+            pruned = filters.pre_intersection(seg_s[i], seg_t[i])
+            if pruned is None:
+                common = merge_intersection(seg_s[i].tokens, seg_t[i].tokens)
+                pruned = (
+                    "disjoint"
+                    if common == 0
+                    else filters.post_intersection(seg_s[i], seg_t[i], common)
+                )
+            assert pruned is not None
+
+    def test_strl_prunes_length_mismatch(self):
+        partitioner = VerticalPartitioner(())
+        (_, short), = partitioner.split(0, (1, 2))
+        (_, long), = partitioner.split(1, tuple(range(20)))
+        filters = FragmentFilters(0.8, SimilarityFunction.JACCARD, FilterConfig())
+        assert filters.pre_intersection(short, long) == "strl"
+
+    def test_identical_records_never_pruned(self):
+        partitioner = VerticalPartitioner((5,))
+        segs_a = dict(partitioner.split(0, (1, 2, 7, 8)))
+        segs_b = dict(partitioner.split(1, (1, 2, 7, 8)))
+        filters = FragmentFilters(0.9, SimilarityFunction.JACCARD, FilterConfig())
+        for i in segs_a:
+            seg_a, seg_b = segs_a[i], segs_b[i]
+            assert filters.pre_intersection(seg_a, seg_b) is None
+            common = merge_intersection(seg_a.tokens, seg_b.tokens)
+            assert filters.post_intersection(seg_a, seg_b, common) is None
+
+    def test_disabled_filters_never_prune(self):
+        partitioner = VerticalPartitioner(())
+        (_, short), = partitioner.split(0, (1,))
+        (_, long), = partitioner.split(1, tuple(range(30)))
+        filters = FragmentFilters(0.9, SimilarityFunction.JACCARD, FilterConfig.none())
+        assert filters.pre_intersection(short, long) is None
+        assert filters.post_intersection(short, long, 0) is None
+
+
+class TestFilterSafety:
+    """Property: pruned pairs are always truly dissimilar."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(funcs, thetas, cut_sets, rank_sets, rank_sets)
+    def test_no_similar_pair_pruned(self, func, theta, cuts, ranks_s, ranks_t):
+        similarity = get_similarity_function(func)
+        score = similarity(set(ranks_s), set(ranks_t))
+        partitioner = VerticalPartitioner(cuts)
+        segs_s = dict(partitioner.split(0, ranks_s))
+        segs_t = dict(partitioner.split(1, ranks_t))
+        filters = FragmentFilters(theta, func, FilterConfig())
+        for i in set(segs_s) & set(segs_t):
+            seg_s, seg_t = segs_s[i], segs_t[i]
+            pruned = filters.pre_intersection(seg_s, seg_t)
+            if pruned is None:
+                common = merge_intersection(seg_s.tokens, seg_t.tokens)
+                pruned = filters.post_intersection(seg_s, seg_t, common)
+            if pruned is not None:
+                assert score < theta + 1e-9, (
+                    f"filter {pruned} pruned a pair with sim={score} >= {theta}"
+                )
+
+    @settings(max_examples=150, deadline=None)
+    @given(thetas, cut_sets, rank_sets)
+    def test_self_pair_never_pruned(self, theta, cuts, ranks):
+        """A record paired with an identical copy survives all filters."""
+        partitioner = VerticalPartitioner(cuts)
+        segs_a = dict(partitioner.split(0, ranks))
+        segs_b = dict(partitioner.split(1, ranks))
+        filters = FragmentFilters(theta, SimilarityFunction.JACCARD, FilterConfig())
+        for i in segs_a:
+            assert filters.pre_intersection(segs_a[i], segs_b[i]) is None
+            common = len(segs_a[i])
+            assert filters.post_intersection(segs_a[i], segs_b[i], common) is None
+
+
+class TestFilterPowerOrdering:
+    """SegI (actual intersection) subsumes SegL (its upper bound)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(funcs, thetas, cut_sets, rank_sets, rank_sets)
+    def test_segi_at_least_as_strong_as_segl(self, func, theta, cuts, ranks_s, ranks_t):
+        partitioner = VerticalPartitioner(cuts)
+        segs_s = dict(partitioner.split(0, ranks_s))
+        segs_t = dict(partitioner.split(1, ranks_t))
+        segl_only = FragmentFilters(theta, func, FilterConfig.only("segl"))
+        segi_only = FragmentFilters(theta, func, FilterConfig.only("segi"))
+        for i in set(segs_s) & set(segs_t):
+            seg_s, seg_t = segs_s[i], segs_t[i]
+            common = merge_intersection(seg_s.tokens, seg_t.tokens)
+            if segl_only.pre_intersection(seg_s, seg_t) == "segl":
+                assert segi_only.post_intersection(seg_s, seg_t, common) == "segi"

@@ -1,0 +1,92 @@
+"""Tests for incremental self-join maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import naive_self_join
+from repro.core import FSJoinConfig
+from repro.core.incremental import IncrementalSelfJoin
+from repro.data.records import Record, RecordCollection
+from repro.errors import DataError
+from tests.conftest import random_collection
+
+
+def _split_batches(records, sizes):
+    """Split a collection into consecutive batches of the given sizes."""
+    batches = []
+    cursor = 0
+    all_records = list(records)
+    for size in sizes:
+        batches.append(RecordCollection(all_records[cursor : cursor + size]))
+        cursor += size
+    assert cursor == len(all_records)
+    return batches
+
+
+class TestLifecycle:
+    def test_initialize_matches_full_join(self, cluster):
+        records = random_collection(50, seed=91)
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7, n_vertical=4), cluster)
+        results = join.initialize(records)
+        assert set(results) == set(naive_self_join(records, 0.7))
+
+    def test_double_initialize_rejected(self, cluster):
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        join.initialize(random_collection(5, seed=0))
+        with pytest.raises(DataError):
+            join.initialize(random_collection(5, seed=1))
+
+    def test_duplicate_rid_rejected(self, cluster):
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        join.initialize(random_collection(5, seed=0))
+        clash = RecordCollection([Record.make(0, ["x"])])
+        with pytest.raises(DataError):
+            join.add_batch(clash)
+
+    def test_results_snapshot_is_copy(self, cluster):
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        join.initialize(random_collection(10, seed=2))
+        snapshot = join.results
+        snapshot[(999, 1000)] = 1.0
+        assert (999, 1000) not in join.results
+
+
+class TestDeltaCorrectness:
+    def test_batches_converge_to_full_join(self, cluster):
+        full = random_collection(60, seed=92)
+        oracle = naive_self_join(full, 0.7)
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7, n_vertical=4), cluster)
+        batches = _split_batches(full, [20, 15, 15, 10])
+        join.initialize(batches[0])
+        for batch in batches[1:]:
+            join.add_batch(batch)
+        assert set(join.results) == set(oracle)
+        for pair, score in join.results.items():
+            assert score == pytest.approx(oracle[pair])
+
+    def test_delta_contains_only_new_pairs(self, cluster):
+        full = random_collection(40, seed=93)
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7, n_vertical=4), cluster)
+        first, second = _split_batches(full, [25, 15])
+        join.initialize(first)
+        new_rids = {record.rid for record in second}
+        delta = join.add_batch(second)
+        for rid_a, rid_b in delta:
+            assert rid_a in new_rids or rid_b in new_rids
+
+    def test_empty_batch(self, cluster):
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        join.initialize(random_collection(10, seed=3))
+        before = join.results
+        assert join.add_batch(RecordCollection()) == {}
+        assert join.results == before
+
+    def test_add_batch_without_initialize(self, cluster):
+        """Starting empty and batching everything equals a full join."""
+        full = random_collection(30, seed=94)
+        oracle = set(naive_self_join(full, 0.8))
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.8, n_vertical=3), cluster)
+        for batch in _split_batches(full, [10, 10, 10]):
+            join.add_batch(batch)
+        assert set(join.results) == oracle

@@ -1,0 +1,101 @@
+"""Tests for the R-S (two-collection) join extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_rs_join
+from repro.core import FSJoinConfig, FSJoinRS
+from repro.data.records import RecordCollection
+from repro.similarity.functions import SimilarityFunction
+from tests.conftest import random_collection
+
+
+class TestKnownCases:
+    def test_identical_singletons(self, cluster):
+        left = RecordCollection.from_token_lists([["a", "b", "c"]])
+        right = RecordCollection.from_token_lists([["a", "b", "c"]])
+        result = FSJoinRS(FSJoinConfig(theta=0.9), cluster).run(left, right)
+        assert result.result_pairs == {(0, 0): pytest.approx(1.0)}
+
+    def test_key_order_is_left_right(self, cluster):
+        left = RecordCollection.from_token_lists([["x", "y", "z"]])
+        right = RecordCollection.from_token_lists([[], ["x", "y", "z"]])
+        result = FSJoinRS(FSJoinConfig(theta=0.9), cluster).run(left, right)
+        assert set(result.result_pairs) == {(0, 1)}
+
+    def test_same_side_pairs_excluded(self, cluster):
+        """Two identical records in the same collection are not a result."""
+        left = RecordCollection.from_token_lists([["a", "b"], ["a", "b"]])
+        right = RecordCollection.from_token_lists([["q", "r"]])
+        result = FSJoinRS(FSJoinConfig(theta=0.5), cluster).run(left, right)
+        assert result.pairs == []
+
+    def test_overlapping_rids_unambiguous(self, cluster):
+        """rid 0 exists on both sides; the pair (0, 0) is a valid result."""
+        left = RecordCollection.from_token_lists([["m", "n", "o"]])
+        right = RecordCollection.from_token_lists([["m", "n", "o"]])
+        result = FSJoinRS(FSJoinConfig(theta=1.0), cluster).run(left, right)
+        assert set(result.result_pairs) == {(0, 0)}
+
+    def test_empty_sides(self, cluster):
+        records = random_collection(10, seed=0)
+        empty = RecordCollection()
+        config = FSJoinConfig(theta=0.8)
+        assert FSJoinRS(config, cluster).run(records, empty).pairs == []
+        assert FSJoinRS(config, cluster).run(empty, records).pairs == []
+
+    def test_algorithm_name(self, cluster):
+        left = random_collection(5, seed=1)
+        result = FSJoinRS(FSJoinConfig(theta=0.8), cluster).run(left, left)
+        assert result.algorithm == "FS-Join-RS"
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("theta", [0.6, 0.8, 0.95])
+    @pytest.mark.parametrize("func", list(SimilarityFunction))
+    def test_matches_oracle(self, theta, func, cluster):
+        left = random_collection(40, seed=51)
+        right = random_collection(35, seed=52)
+        oracle = naive_rs_join(left, right, theta, func)
+        config = FSJoinConfig(theta=theta, func=func, n_vertical=5)
+        result = FSJoinRS(config, cluster).run(left, right)
+        assert result.result_pairs.keys() == oracle.keys()
+        for pair, score in result.result_pairs.items():
+            assert score == pytest.approx(oracle[pair])
+
+    @pytest.mark.parametrize("n_horizontal", [1, 3, 6])
+    def test_horizontal_partitioning(self, n_horizontal, cluster):
+        left = random_collection(40, max_len=25, seed=61)
+        right = random_collection(40, max_len=25, seed=62)
+        oracle = frozenset(naive_rs_join(left, right, 0.7))
+        config = FSJoinConfig(theta=0.7, n_vertical=4, n_horizontal=n_horizontal)
+        result = FSJoinRS(config, cluster).run(left, right)
+        assert result.result_set() == oracle
+
+    def test_self_rs_equals_self_join_plus_diagonal(self, cluster):
+        """R ⋈ R returns every self-join pair in both orders' canonical key
+        plus the diagonal (each record with its own copy)."""
+        records = random_collection(25, seed=77)
+        config = FSJoinConfig(theta=0.8, n_vertical=4)
+        rs = FSJoinRS(config, cluster).run(records, records)
+        oracle = naive_rs_join(records, records, 0.8)
+        assert rs.result_pairs.keys() == oracle.keys()
+        for record in records:
+            if record.size:
+                assert (record.rid, record.rid) in rs.result_pairs
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        theta=st.sampled_from([0.6, 0.8, 0.9]),
+        n_vertical=st.integers(1, 8),
+    )
+    def test_random_configs(self, seed, theta, n_vertical):
+        left = random_collection(25, seed=seed)
+        right = random_collection(25, seed=seed + 5000)
+        oracle = frozenset(naive_rs_join(left, right, theta))
+        config = FSJoinConfig(theta=theta, n_vertical=n_vertical)
+        assert FSJoinRS(config).run(left, right).result_set() == oracle

@@ -1,0 +1,75 @@
+"""Tests for the verification MapReduce job."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify_job import VerificationJob
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+from repro.similarity.functions import SimilarityFunction
+
+
+@pytest.fixture
+def verify_cluster():
+    return SimulatedCluster(ClusterSpec(workers=2))
+
+
+def _run(verify_cluster, pairs, theta=0.6, func=SimilarityFunction.JACCARD):
+    job = VerificationJob(theta, func)
+    return verify_cluster.run_job(job, pairs)
+
+
+class TestAggregation:
+    def test_sums_partial_counts(self, verify_cluster):
+        # Pair (0, 1): counts 2 + 3 = 5 common of sizes 6 and 6 → J = 5/7.
+        pairs = [((0, 1), (2, 6, 6)), ((0, 1), (3, 6, 6))]
+        result = _run(verify_cluster, pairs, theta=0.7)
+        assert dict(result.output) == {(0, 1): pytest.approx(5 / 7)}
+
+    def test_below_threshold_dropped(self, verify_cluster):
+        pairs = [((0, 1), (2, 6, 6))]  # J = 2/10 = 0.2
+        result = _run(verify_cluster, pairs, theta=0.7)
+        assert result.output == []
+
+    def test_multiple_pairs_independent(self, verify_cluster):
+        pairs = [
+            ((0, 1), (5, 5, 5)),  # identical → 1.0
+            ((2, 3), (1, 5, 5)),  # 1/9 → dropped
+        ]
+        result = _run(verify_cluster, pairs, theta=0.9)
+        assert dict(result.output) == {(0, 1): pytest.approx(1.0)}
+
+    def test_counters(self, verify_cluster):
+        pairs = [((0, 1), (5, 5, 5)), ((2, 3), (1, 5, 5))]
+        result = _run(verify_cluster, pairs, theta=0.9)
+        assert result.counters.get("fsjoin.verify", "candidates") == 2
+        assert result.counters.get("fsjoin.verify", "results") == 1
+
+
+class TestCombiner:
+    def test_combiner_preserves_totals(self, verify_cluster):
+        pairs = [((0, 1), (1, 8, 8)) for _ in range(6)]  # six fragments × 1
+        result = _run(verify_cluster, pairs, theta=0.5)
+        # total common = 6 of sizes 8, 8 → J = 6/10.
+        assert dict(result.output) == {(0, 1): pytest.approx(0.6)}
+
+    def test_combiner_shrinks_shuffle(self, verify_cluster):
+        pairs = [((0, 1), (1, 8, 8)) for _ in range(50)]
+        result = _run(verify_cluster, pairs, theta=0.5)
+        assert result.metrics.shuffle_records < 50
+
+
+class TestSimilarityFunctions:
+    @pytest.mark.parametrize(
+        "func,expected",
+        [
+            (SimilarityFunction.JACCARD, 4 / 6),
+            (SimilarityFunction.DICE, 8 / 10),
+            (SimilarityFunction.COSINE, 4 / 5),
+        ],
+    )
+    def test_verification_rules(self, verify_cluster, func, expected):
+        """Section V-B's three rules, with c=4, |s|=|t|=5."""
+        pairs = [((0, 1), (4, 5, 5))]
+        result = _run(verify_cluster, pairs, theta=0.5, func=func)
+        assert dict(result.output) == {(0, 1): pytest.approx(expected)}

@@ -1,0 +1,82 @@
+"""Unit tests for dataset I/O and sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import load_records, sample, save_records
+from repro.data.records import RecordCollection
+from repro.errors import ConfigError
+from tests.conftest import random_collection
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, small_records):
+        path = tmp_path / "data.txt"
+        save_records(small_records, path)
+        loaded = load_records(path)
+        assert len(loaded) == len(small_records)
+        for original in small_records:
+            assert set(loaded.get(original.rid).tokens) == set(original.tokens)
+
+    def test_load_without_rids(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("alpha beta\ngamma\n", encoding="utf-8")
+        loaded = load_records(path)
+        assert loaded.get(0).tokens == ("alpha", "beta")
+        assert loaded.get(1).tokens == ("gamma",)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.txt"
+        path.write_text("a b\n\nc d\n", encoding="utf-8")
+        assert len(load_records(path)) == 2
+
+    def test_load_dedupes_tokens(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("a a b\n", encoding="utf-8")
+        assert load_records(path).get(0).tokens == ("a", "b")
+
+
+class TestSample:
+    def test_full_fraction_is_copy(self, medium_records):
+        sampled = sample(medium_records, 1.0)
+        assert len(sampled) == len(medium_records)
+        assert [r.rid for r in sampled] == [r.rid for r in medium_records]
+
+    def test_fraction_size(self):
+        records = random_collection(100, seed=1)
+        assert len(sample(records, 0.6, seed=2)) == 60
+
+    def test_preserves_rids(self):
+        records = random_collection(50, seed=1)
+        sampled = sample(records, 0.5, seed=3)
+        for record in sampled:
+            assert records.get(record.rid).tokens == record.tokens
+
+    def test_deterministic(self):
+        records = random_collection(50, seed=1)
+        first = [r.rid for r in sample(records, 0.4, seed=9)]
+        second = [r.rid for r in sample(records, 0.4, seed=9)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        records = random_collection(100, seed=1)
+        first = [r.rid for r in sample(records, 0.3, seed=1)]
+        second = [r.rid for r in sample(records, 0.3, seed=2)]
+        assert first != second
+
+    def test_subset_relation(self):
+        records = random_collection(40, seed=5)
+        sampled = sample(records, 0.25, seed=0)
+        assert {r.rid for r in sampled} <= {r.rid for r in records}
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ConfigError):
+            sample(RecordCollection(), fraction)
+
+    def test_paper_scales(self):
+        """The paper's 4X/6X/8X/10X scales are 40/60/80/100% samples."""
+        records = random_collection(200, seed=6)
+        sizes = [len(sample(records, f, seed=0)) for f in (0.4, 0.6, 0.8, 1.0)]
+        assert sizes == [80, 120, 160, 200]

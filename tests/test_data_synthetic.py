@@ -1,0 +1,112 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.data.synthetic import (
+    EMAIL_LIKE,
+    PUBMED_LIKE,
+    WIKI_LIKE,
+    SyntheticSpec,
+    generate,
+    make_corpus,
+)
+from repro.errors import ConfigError
+
+
+class TestSpecValidation:
+    def test_negative_records(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(WIKI_LIKE, n_records=0)
+
+    def test_vocab_smaller_than_max_len(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(WIKI_LIKE, vocab_size=10, max_len=20)
+
+    def test_bad_length_bounds(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(WIKI_LIKE, min_len=10, max_len=5)
+
+    def test_bad_duplicate_fraction(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(WIKI_LIKE, duplicate_fraction=1.0)
+
+    def test_bad_mutation_rate(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(WIKI_LIKE, mutation_rate=1.5)
+
+
+class TestGenerate:
+    def test_record_count(self):
+        records = make_corpus("wiki", 120, seed=0)
+        assert len(records) == 120
+
+    def test_deterministic(self):
+        a = make_corpus("pubmed", 50, seed=3)
+        b = make_corpus("pubmed", 50, seed=3)
+        assert [r.tokens for r in a] == [r.tokens for r in b]
+
+    def test_seed_changes_output(self):
+        a = make_corpus("pubmed", 50, seed=3)
+        b = make_corpus("pubmed", 50, seed=4)
+        assert [r.tokens for r in a] != [r.tokens for r in b]
+
+    def test_tokens_unique_within_record(self):
+        for record in make_corpus("wiki", 60, seed=1):
+            assert len(record.tokens) == len(set(record.tokens))
+
+    def test_lengths_within_bounds(self):
+        spec = dataclasses.replace(WIKI_LIKE, n_records=100)
+        for record in generate(spec, seed=2):
+            assert spec.min_len <= record.size <= spec.max_len
+
+    def test_mean_length_approximate(self):
+        records = make_corpus("pubmed", 400, seed=5)
+        stats = dataset_stats(records)
+        assert stats.mean_len == pytest.approx(PUBMED_LIKE.mean_len, rel=0.35)
+
+    def test_duplicates_planted(self):
+        """With duplicates planted, high-threshold joins have results."""
+        from repro.baselines import naive_self_join
+
+        records = make_corpus("wiki", 80, seed=7, mutation_rate=0.05)
+        assert naive_self_join(records, 0.8)
+
+    def test_zero_duplicates(self):
+        records = make_corpus("wiki", 40, seed=0, duplicate_fraction=0.0)
+        assert len(records) == 40
+
+    def test_unknown_corpus(self):
+        with pytest.raises(ConfigError):
+            make_corpus("twitter", 10)
+
+    def test_override_kwargs(self):
+        records = make_corpus("wiki", 30, seed=0, min_len=10, max_len=12)
+        assert all(10 <= r.size <= 12 for r in records)
+
+
+class TestPresetShapes:
+    """The presets should mirror the Table III length relationships."""
+
+    def test_email_longest(self):
+        email = dataset_stats(make_corpus("email", 150, seed=0))
+        pubmed = dataset_stats(make_corpus("pubmed", 150, seed=0))
+        wiki = dataset_stats(make_corpus("wiki", 150, seed=0))
+        assert email.mean_len > pubmed.mean_len > wiki.mean_len
+
+    def test_email_heavy_tail(self):
+        stats = dataset_stats(make_corpus("email", 300, seed=0))
+        assert stats.max_len > 3 * stats.mean_len
+
+    def test_zipf_skew_present(self):
+        stats = dataset_stats(make_corpus("wiki", 300, seed=0))
+        # The most frequent token covers far more than a uniform share.
+        assert stats.top_token_share > 5.0 / stats.vocab_size
+
+    @pytest.mark.parametrize("preset", [EMAIL_LIKE, PUBMED_LIKE, WIKI_LIKE])
+    def test_presets_valid(self, preset: SyntheticSpec):
+        assert preset.min_len <= preset.mean_len <= preset.max_len

@@ -1,0 +1,79 @@
+"""Tests for the topic-clustered corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.textlike import topic_corpus
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_bad_records(self):
+        with pytest.raises(ConfigError):
+            topic_corpus(0)
+
+    def test_bad_topics(self):
+        with pytest.raises(ConfigError):
+            topic_corpus(10, n_topics=0)
+
+    def test_bad_shared_fraction(self):
+        with pytest.raises(ConfigError):
+            topic_corpus(10, shared_fraction=1.5)
+
+    def test_bad_duplicate_fraction(self):
+        with pytest.raises(ConfigError):
+            topic_corpus(10, duplicate_fraction=1.0)
+
+
+class TestGeneration:
+    def test_record_count(self):
+        assert len(topic_corpus(120, seed=1)) == 120
+
+    def test_deterministic(self):
+        a = topic_corpus(50, seed=4)
+        b = topic_corpus(50, seed=4)
+        assert [r.tokens for r in a] == [r.tokens for r in b]
+
+    def test_seed_changes_output(self):
+        a = topic_corpus(50, seed=4)
+        b = topic_corpus(50, seed=5)
+        assert [r.tokens for r in a] != [r.tokens for r in b]
+
+    def test_tokens_unique_within_record(self):
+        for record in topic_corpus(60, seed=2):
+            assert len(record.tokens) == len(set(record.tokens))
+
+    def test_shared_and_topic_pools(self):
+        records = topic_corpus(60, seed=3)
+        for record in records:
+            shared = [t for t in record.tokens if t.startswith("fn")]
+            topical = [t for t in record.tokens if t.startswith("t")]
+            assert shared and topical
+
+    def test_single_topic_per_base_record(self):
+        """A base record's content words come from exactly one topic."""
+        records = topic_corpus(40, seed=6, duplicate_fraction=0.0)
+        for record in records:
+            topics = {t[:3] for t in record.tokens if t.startswith("t")}
+            assert len(topics) == 1
+
+    def test_duplicates_make_join_results(self):
+        from repro.baselines.naive import naive_self_join
+
+        records = topic_corpus(80, seed=7, mutation_rate=0.05)
+        assert naive_self_join(records, 0.8)
+
+    def test_cross_topic_pairs_dissimilar(self):
+        """Records of different topics share only function words — never
+        enough for a high threshold."""
+        from repro.baselines.naive import naive_self_join
+        from repro.data.records import RecordCollection
+
+        records = topic_corpus(60, seed=8, duplicate_fraction=0.0)
+        results = naive_self_join(records, 0.8)
+        by_rid = {r.rid: r for r in records}
+        for rid_a, rid_b in results:
+            topic_a = {t[:3] for t in by_rid[rid_a].tokens if t.startswith("t")}
+            topic_b = {t[:3] for t in by_rid[rid_b].tokens if t.startswith("t")}
+            assert topic_a == topic_b

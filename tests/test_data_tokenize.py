@@ -1,0 +1,76 @@
+"""Unit tests for repro.data.tokenize."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.tokenize import (
+    QGramTokenizer,
+    Tokenizer,
+    WhitespaceTokenizer,
+    WordTokenizer,
+)
+from repro.errors import ConfigError
+
+
+class TestWhitespaceTokenizer:
+    def test_basic(self):
+        assert WhitespaceTokenizer().tokenize("a b  c") == ["a", "b", "c"]
+
+    def test_keeps_punctuation(self):
+        assert WhitespaceTokenizer().tokenize("hi, there!") == ["hi,", "there!"]
+
+    def test_empty(self):
+        assert WhitespaceTokenizer().tokenize("") == []
+
+    def test_callable(self):
+        assert WhitespaceTokenizer()("x y") == ["x", "y"]
+
+
+class TestWordTokenizer:
+    def test_lowercases(self):
+        assert WordTokenizer().tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert WordTokenizer().tokenize("a, b. c!") == ["a", "b", "c"]
+
+    def test_keeps_digits(self):
+        assert WordTokenizer().tokenize("abc123 45") == ["abc123", "45"]
+
+    def test_empty(self):
+        assert WordTokenizer().tokenize("...") == []
+
+
+class TestQGramTokenizer:
+    def test_padded_trigrams(self):
+        grams = QGramTokenizer(q=3).tokenize("ab")
+        assert grams == ["##a", "#ab", "ab#", "b##"]
+
+    def test_unpadded(self):
+        grams = QGramTokenizer(q=2, pad=False).tokenize("abc")
+        assert grams == ["ab", "bc"]
+
+    def test_short_string_unpadded(self):
+        assert QGramTokenizer(q=3, pad=False).tokenize("ab") == ["ab"]
+
+    def test_empty_unpadded(self):
+        assert QGramTokenizer(q=2, pad=False).tokenize("") == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ConfigError):
+            QGramTokenizer(q=0)
+
+    @given(st.text(alphabet="abc", max_size=20), st.integers(1, 4))
+    def test_gram_count_padded(self, text, q):
+        grams = QGramTokenizer(q=q).tokenize(text)
+        if text:
+            assert len(grams) == len(text) + q - 1
+            assert all(len(gram) == q for gram in grams)
+
+
+class TestBaseTokenizer:
+    def test_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Tokenizer().tokenize("x")

@@ -1,0 +1,26 @@
+"""Run the executable examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.fsjoin
+import repro.core.incremental
+import repro.core.rsjoin
+import repro.rdd.context
+
+MODULES = [
+    repro.core.fsjoin,
+    repro.core.incremental,
+    repro.core.rsjoin,
+    repro.rdd.context,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its docstring examples"
+    assert result.failed == 0

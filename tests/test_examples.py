@@ -1,0 +1,51 @@
+"""Sanity checks on the example scripts.
+
+The examples run for seconds-to-minutes, so the unit suite only verifies
+that each compiles and imports nothing outside the installed package —
+the full runs happen in documentation/QA passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+ALLOWED_TOP_LEVEL = {
+    "repro", "numpy", "random", "dataclasses", "time", "sys", "__future__",
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    compile(path.read_text(encoding="utf-8"), str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_packages(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            roots = {alias.name.split(".")[0] for alias in node.names}
+        elif isinstance(node, ast.ImportFrom):
+            roots = {(node.module or "").split(".")[0]}
+        else:
+            continue
+        assert roots <= ALLOWED_TOP_LEVEL, f"{path.name} imports {roots}"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    text = path.read_text(encoding="utf-8")
+    assert '__name__ == "__main__"' in text
+    assert '"""' in text.split("\n", 2)[1] or text.startswith("#!")
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "email_deduplication.py", "algorithm_shootout.py"} <= names
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,156 @@
+"""Tests for the analytic cluster time model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mapreduce.costmodel import (
+    CostModel,
+    PhaseTimes,
+    lemma5_cost,
+    lpt_makespan,
+    simulate_job_time,
+    simulate_pipeline_time,
+)
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.runtime import ClusterSpec
+
+
+def _metrics(map_secs, reduce_secs, shuffle_bytes=0, output_bytes=0):
+    metrics = JobMetrics(job_name="test")
+    for i, sec in enumerate(map_secs):
+        metrics.map_tasks.append(TaskMetrics(task_id=i, compute_seconds=sec))
+    for i, sec in enumerate(reduce_secs):
+        task = TaskMetrics(task_id=i, compute_seconds=sec)
+        task.output_bytes = output_bytes // max(1, len(reduce_secs))
+        metrics.reduce_tasks.append(task)
+    metrics.shuffle_bytes = shuffle_bytes
+    return metrics
+
+
+class TestLptMakespan:
+    def test_single_lane(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_lanes(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_two_lanes(self):
+        # LPT: 3 -> lane A, 2 -> lane B, 1 -> lane B → makespan 3.
+        assert lpt_makespan([1.0, 2.0, 3.0], 2) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ConfigError):
+            lpt_makespan([1.0], 0)
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20),
+        st.integers(1, 8),
+    )
+    def test_bounds(self, costs, lanes):
+        makespan = lpt_makespan(costs, lanes)
+        assert makespan >= max(costs) - 1e-9
+        assert makespan >= sum(costs) / lanes - 1e-9
+        assert makespan <= sum(costs) + 1e-9
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20))
+    def test_more_lanes_never_slower(self, costs):
+        assert lpt_makespan(costs, 4) <= lpt_makespan(costs, 2) + 1e-9
+
+
+class TestSimulateJobTime:
+    def test_phases_positive(self):
+        metrics = _metrics([0.1, 0.2], [0.3], shuffle_bytes=10**7, output_bytes=10**6)
+        times = simulate_job_time(metrics, ClusterSpec(workers=2))
+        assert times.startup_s > 0
+        assert times.map_s > 0
+        assert times.shuffle_s > 0
+        assert times.reduce_s > 0
+        assert times.total_s == pytest.approx(
+            times.startup_s + times.map_s + times.shuffle_s + times.reduce_s + times.output_s
+        )
+
+    def test_more_workers_faster(self):
+        metrics = _metrics([0.5] * 30, [0.5] * 30, shuffle_bytes=10**8)
+        small = simulate_job_time(metrics, ClusterSpec(workers=5))
+        large = simulate_job_time(metrics, ClusterSpec(workers=15))
+        assert large.total_s < small.total_s
+
+    def test_skewed_reduce_dominates(self):
+        """One giant reduce task bounds the makespan regardless of workers."""
+        skewed = _metrics([], [10.0] + [0.01] * 29)
+        balanced = _metrics([], [10.0 / 3] * 3 + [0.01] * 27)
+        many = ClusterSpec(workers=30)
+        assert (
+            simulate_job_time(skewed, many).reduce_s
+            > simulate_job_time(balanced, many).reduce_s
+        )
+
+    def test_shuffle_scales_with_bytes(self):
+        light = _metrics([], [], shuffle_bytes=10**6)
+        heavy = _metrics([], [], shuffle_bytes=10**9)
+        spec = ClusterSpec()
+        assert (
+            simulate_job_time(heavy, spec).shuffle_s
+            > 100 * simulate_job_time(light, spec).shuffle_s
+        )
+
+    def test_pipeline_sums_jobs(self):
+        metrics = _metrics([0.1], [0.1])
+        single = simulate_job_time(metrics, ClusterSpec())
+        double = simulate_pipeline_time([metrics, metrics], ClusterSpec())
+        assert double.total_s == pytest.approx(2 * single.total_s)
+
+    def test_startup_counted_per_job(self):
+        """Fixed job latency ×4 is part of why MassJoin loses on small data."""
+        model = CostModel()
+        metrics = _metrics([], [])
+        four_jobs = simulate_pipeline_time([metrics] * 4, ClusterSpec(), model)
+        assert four_jobs.startup_s == pytest.approx(4 * model.job_startup_s)
+
+
+class TestPhaseTimes:
+    def test_addition(self):
+        a = PhaseTimes(1, 2, 3, 4, 5)
+        b = PhaseTimes(1, 1, 1, 1, 1)
+        total = a + b
+        assert total.map_s == 3
+        assert total.total_s == pytest.approx(a.total_s + b.total_s)
+
+
+class TestCostModelValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            CostModel(shuffle_bandwidth_per_worker=0)
+
+
+class TestLemma5:
+    def test_positive(self):
+        cost = lemma5_cost([10] * 100, 10, 0.5, 0.01, 0.5)
+        assert cost > 0
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ConfigError):
+            lemma5_cost([10], 0, 0.5, 0.01, 0.5)
+
+    def test_map_shuffle_terms_linear_in_tokens(self):
+        base = lemma5_cost([10] * 50, 10, 0.0, 0.0, 0.0)
+        double = lemma5_cost([20] * 50, 10, 0.0, 0.0, 0.0)
+        assert double == pytest.approx(2 * base)
+
+    def test_reduce_term_quadratic_in_records(self):
+        """Pairwise fragment joins grow quadratically with record count."""
+        small = lemma5_cost([10] * 50, 10, 1.0, 0.0, 0.0, c_map=0, c_shuffle=0)
+        large = lemma5_cost([10] * 100, 10, 1.0, 0.0, 0.0, c_map=0, c_shuffle=0)
+        assert large == pytest.approx(4 * small)
+
+    def test_more_partitions_cheaper_reduce(self):
+        few = lemma5_cost([10] * 100, 5, 1.0, 0.0, 0.0, c_map=0, c_shuffle=0)
+        many = lemma5_cost([10] * 100, 20, 1.0, 0.0, 0.0, c_map=0, c_shuffle=0)
+        assert many < few

@@ -1,0 +1,115 @@
+"""Fault-tolerance tests: task retries with output isolation.
+
+Hadoop re-executes failed tasks; a retried task's earlier partial output
+must never leak into the job output.  The runtime models this with a
+failure injector and per-attempt output buffering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import naive_self_join
+from repro.core import FSJoin, FSJoinConfig
+from repro.errors import ConfigError, ExecutionError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+from tests.conftest import random_collection
+
+
+class WordCount(MapReduceJob):
+    name = "wordcount"
+
+    def map(self, key, value, emit, context):
+        for token in value.split():
+            emit(token, 1)
+
+    def reduce(self, key, values, emit, context):
+        emit(key, sum(values))
+
+
+LINES = [(i, f"w{i % 5} w{i % 3} common") for i in range(40)]
+
+
+def fail_first_attempts(phases=("map", "reduce")):
+    """Every task of the given phases fails its first attempt."""
+
+    def injector(phase, task_id, attempt):
+        return phase in phases and attempt == 1
+
+    return injector
+
+
+class TestRetries:
+    def test_output_identical_after_retries(self):
+        clean = SimulatedCluster(ClusterSpec(workers=3)).run_job(WordCount(), LINES)
+        faulty = SimulatedCluster(
+            ClusterSpec(workers=3), failure_injector=fail_first_attempts()
+        ).run_job(WordCount(), LINES)
+        assert sorted(faulty.output) == sorted(clean.output)
+
+    def test_no_partial_output_leaks(self):
+        """Retried tasks must not double their emissions."""
+        faulty = SimulatedCluster(
+            ClusterSpec(workers=3), failure_injector=fail_first_attempts()
+        ).run_job(WordCount(), LINES)
+        counts = dict(faulty.output)
+        assert counts["common"] == 40  # not 80
+
+    def test_retries_counted(self):
+        spec = ClusterSpec(workers=2, map_slots=2, reduce_slots=2)
+        result = SimulatedCluster(
+            spec, failure_injector=fail_first_attempts(("map",))
+        ).run_job(WordCount(), LINES, num_map_tasks=4)
+        assert result.counters.get("mapreduce", "map_task_retries") == 4
+        assert result.counters.get("mapreduce", "reduce_task_retries") == 0
+
+    def test_single_flaky_task(self):
+        def injector(phase, task_id, attempt):
+            return phase == "reduce" and task_id == 0 and attempt < 3
+
+        result = SimulatedCluster(
+            ClusterSpec(workers=2), failure_injector=injector
+        ).run_job(WordCount(), LINES)
+        assert result.counters.get("mapreduce", "reduce_task_retries") == 2
+        clean = SimulatedCluster(ClusterSpec(workers=2)).run_job(WordCount(), LINES)
+        assert sorted(result.output) == sorted(clean.output)
+
+    def test_exhausted_attempts_abort_job(self):
+        cluster = SimulatedCluster(
+            ClusterSpec(workers=2),
+            failure_injector=lambda phase, task_id, attempt: phase == "map",
+            max_task_attempts=3,
+        )
+        with pytest.raises(ExecutionError, match="failed 3 attempts"):
+            cluster.run_job(WordCount(), LINES)
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(ConfigError):
+            SimulatedCluster(max_task_attempts=0)
+
+    def test_counters_not_duplicated_by_retries(self):
+        """User counters from failed attempts are discarded with the output."""
+
+        class Counting(WordCount):
+            def map(self, key, value, emit, context):
+                context.increment("user", "map_calls")
+                super().map(key, value, emit, context)
+
+        result = SimulatedCluster(
+            ClusterSpec(workers=2), failure_injector=fail_first_attempts(("map",))
+        ).run_job(Counting(), LINES)
+        assert result.counters.get("user", "map_calls") == len(LINES)
+
+
+class TestFullPipelineUnderFailures:
+    def test_fsjoin_results_survive_failures(self):
+        records = random_collection(40, seed=33)
+        theta = 0.7
+        oracle = frozenset(naive_self_join(records, theta))
+        cluster = SimulatedCluster(
+            ClusterSpec(workers=3), failure_injector=fail_first_attempts()
+        )
+        result = FSJoin(FSJoinConfig(theta=theta, n_vertical=4), cluster).run(records)
+        assert result.result_set() == oracle
+        assert result.counters().get("mapreduce", "map_task_retries") > 0

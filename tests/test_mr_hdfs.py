@@ -1,0 +1,65 @@
+"""Unit tests for the in-memory DFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DFSError
+from repro.mapreduce.hdfs import InMemoryDFS
+
+
+class TestInMemoryDFS:
+    def test_write_read_roundtrip(self):
+        dfs = InMemoryDFS()
+        dfs.write("out/part-0", [("k", 1), ("k2", 2)])
+        assert dfs.read("out/part-0") == [("k", 1), ("k2", 2)]
+
+    def test_missing_read_raises(self):
+        with pytest.raises(DFSError):
+            InMemoryDFS().read("nope")
+
+    def test_overwrite_protection(self):
+        dfs = InMemoryDFS()
+        dfs.write("p", [])
+        with pytest.raises(DFSError):
+            dfs.write("p", [])
+
+    def test_overwrite_allowed_when_requested(self):
+        dfs = InMemoryDFS()
+        dfs.write("p", [("a", 1)])
+        dfs.write("p", [("b", 2)], overwrite=True)
+        assert dfs.read("p") == [("b", 2)]
+
+    def test_exists(self):
+        dfs = InMemoryDFS()
+        assert not dfs.exists("p")
+        dfs.write("p", [])
+        assert dfs.exists("p")
+
+    def test_delete(self):
+        dfs = InMemoryDFS()
+        dfs.write("p", [])
+        dfs.delete("p")
+        assert not dfs.exists("p")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(DFSError):
+            InMemoryDFS().delete("p")
+
+    def test_size_accounting(self):
+        dfs = InMemoryDFS()
+        small = dfs.write("small", [("k", "v")])
+        large = dfs.write("large", [("k", "v" * 100)])
+        assert large > small
+        assert dfs.size_bytes("small") == small
+        assert dfs.total_bytes() == small + large
+
+    def test_size_missing_raises(self):
+        with pytest.raises(DFSError):
+            InMemoryDFS().size_bytes("p")
+
+    def test_list_paths_sorted(self):
+        dfs = InMemoryDFS()
+        dfs.write("b", [])
+        dfs.write("a", [])
+        assert dfs.list_paths() == ["a", "b"]

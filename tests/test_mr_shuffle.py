@@ -1,0 +1,81 @@
+"""Unit tests for stable hashing and partitioning."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.shuffle import default_partition, group_sort_key, stable_hash
+
+keys = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.text(max_size=12),
+    st.tuples(st.integers(0, 100), st.integers(0, 100)),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("token") == stable_hash("token")
+
+    def test_deterministic_across_processes(self):
+        """Python's str hash is salted per process; ours must not be."""
+        code = "from repro.mapreduce.shuffle import stable_hash; print(stable_hash('abc'))"
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code], capture_output=True, text=True
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(outputs) == 1
+        assert outputs == {str(stable_hash("abc"))}
+
+    def test_distinct_values_usually_differ(self):
+        hashes = {stable_hash(f"tok{i}") for i in range(500)}
+        assert len(hashes) > 490
+
+    def test_tuple_order_matters(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_frozenset_order_insensitive(self):
+        assert stable_hash(frozenset([1, 2, 3])) == stable_hash(frozenset([3, 1, 2]))
+
+    @given(keys)
+    def test_nonnegative(self, key):
+        assert stable_hash(key) >= 0
+
+    @given(keys, keys)
+    def test_equal_keys_equal_hashes(self, a, b):
+        if a == b and type(a) is type(b):
+            assert stable_hash(a) == stable_hash(b)
+
+
+class TestDefaultPartition:
+    @given(keys, st.integers(1, 64))
+    def test_in_range(self, key, n):
+        assert 0 <= default_partition(key, n) < n
+
+    def test_spreads_keys(self):
+        buckets = {default_partition(f"k{i}", 16) for i in range(200)}
+        assert len(buckets) == 16
+
+
+class TestGroupSortKey:
+    def test_sorts_ints(self):
+        assert sorted([3, 1, 2], key=group_sort_key) == [1, 2, 3]
+
+    def test_sorts_tuples(self):
+        items = [(2, 1), (1, 9), (1, 2)]
+        assert sorted(items, key=group_sort_key) == [(1, 2), (1, 9), (2, 1)]
+
+    def test_exotic_keys_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "odd"
+
+        sorted([Odd(), Odd()], key=group_sort_key)  # must not raise

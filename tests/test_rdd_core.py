@@ -1,0 +1,215 @@
+"""Tests for the mini RDD engine."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DataError
+from repro.rdd import MiniSparkContext
+
+int_lists = st.lists(st.integers(-50, 50), max_size=60)
+pair_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(-20, 20)), max_size=50
+)
+partition_counts = st.integers(1, 7)
+
+
+@pytest.fixture
+def ctx():
+    return MiniSparkContext(default_parallelism=4)
+
+
+class TestContextValidation:
+    def test_bad_parallelism(self):
+        with pytest.raises(ConfigError):
+            MiniSparkContext(default_parallelism=0)
+
+    def test_bad_partition_count(self, ctx):
+        with pytest.raises(ConfigError):
+            ctx.parallelize([1, 2], n_partitions=0)
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x + 1).collect() == [2, 3, 4]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = ctx.parallelize(["a b", "c"]).flat_map(str.split)
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_map_partitions(self, ctx):
+        rdd = ctx.parallelize(range(8), 4).map_partitions(lambda it: [sum(it)])
+        assert sum(rdd.collect()) == sum(range(8))
+        assert rdd.count() == 4
+
+    def test_key_by_and_map_values(self, ctx):
+        rdd = ctx.parallelize(["aa", "b"]).key_by(len).map_values(str.upper)
+        assert rdd.collect() == [(2, "AA"), (1, "B")]
+
+    def test_union(self, ctx):
+        rdd = ctx.parallelize([1, 2]).union(ctx.parallelize([3]))
+        assert sorted(rdd.collect()) == [1, 2, 3]
+
+    def test_union_cross_context_rejected(self, ctx):
+        other = MiniSparkContext(2)
+        with pytest.raises(ConfigError):
+            ctx.parallelize([1]).union(other.parallelize([2]))
+
+    def test_laziness(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([1, 2, 3]).map(lambda x: calls.append(x) or x)
+        assert calls == []  # nothing computed yet
+        rdd.collect()
+        assert sorted(calls) == [1, 2, 3]
+
+    @given(int_lists, partition_counts)
+    def test_order_preserved_across_partitions(self, items, n):
+        ctx = MiniSparkContext(2)
+        assert ctx.parallelize(items, n).collect() == items
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)]).reduce_by_key(
+            lambda x, y: x + y
+        )
+        assert dict(rdd.collect()) == {"a": 4, "b": 2}
+
+    def test_group_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)]).group_by_key()
+        groups = {k: sorted(v) for k, v in rdd.collect()}
+        assert groups == {"a": [1, 2], "b": [3]}
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.parallelize([3, 1, 3, 2, 1]).distinct().collect()) == [1, 2, 3]
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")])
+        right = ctx.parallelize([(1, "x"), (3, "y")])
+        joined = sorted(left.join(right).collect())
+        assert joined == [(1, ("a", "x")), (1, ("c", "x"))]
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([(1, "a")])
+        right = ctx.parallelize([(1, "x"), (1, "y"), (2, "z")])
+        grouped = dict(left.cogroup(right).collect())
+        assert grouped[1] == (["a"], ["x", "y"])
+        assert grouped[2] == ([], ["z"])
+
+    def test_sort_by(self, ctx):
+        rdd = ctx.parallelize([5, 3, 9, 1], 3).sort_by(lambda x: x)
+        assert rdd.collect() == [1, 3, 5, 9]
+
+    def test_sort_by_descending(self, ctx):
+        rdd = ctx.parallelize([5, 3, 9, 1]).sort_by(lambda x: x, ascending=False)
+        assert rdd.collect() == [9, 5, 3, 1]
+
+    def test_partition_by_routes_keys_together(self, ctx):
+        rdd = ctx.parallelize([(i % 3, i) for i in range(30)]).partition_by(4)
+        for split in range(rdd.n_partitions):
+            keys = {k for k, _ in rdd.compute(split)}
+            for key in keys:
+                # every occurrence of this key lives in this split
+                total = sum(1 for k, _ in rdd.compute(split) if k == key)
+                assert total == 10
+
+    @given(pair_lists, partition_counts)
+    def test_reduce_by_key_matches_counter(self, pairs, n):
+        ctx = MiniSparkContext(3)
+        got = dict(
+            ctx.parallelize(pairs, n).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        want: Counter = Counter()
+        for key, value in pairs:
+            want[key] += value
+        assert got == dict(want)
+
+    @given(pair_lists, partition_counts, partition_counts)
+    def test_group_by_key_complete(self, pairs, n_in, n_out):
+        ctx = MiniSparkContext(3)
+        grouped = dict(
+            ctx.parallelize(pairs, n_in).group_by_key(n_out).collect()
+        )
+        flattened = sorted(
+            (key, value) for key, values in grouped.items() for value in values
+        )
+        assert flattened == sorted(pairs)
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(17)).count() == 17
+
+    def test_take(self, ctx):
+        assert ctx.parallelize(range(100), 5).take(3) == [0, 1, 2]
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2]).take(10) == [1, 2]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([7, 8]).first() == 7
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(DataError):
+            ctx.parallelize([]).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(5)).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(DataError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_count_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("a", 2), ("b", 1)])
+        assert rdd.count_by_key() == {"a": 2, "b": 1}
+
+    def test_collect_as_map(self, ctx):
+        assert ctx.parallelize([("k", 1)]).collect_as_map() == {"k": 1}
+
+
+class TestCaching:
+    def test_cache_computes_once(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(6), 2).map(
+            lambda x: calls.append(x) or x
+        ).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 6  # second collect served from cache
+
+
+class TestShuffleMetrics:
+    def test_shuffles_counted(self, ctx):
+        ctx.parallelize([("a", 1)] * 10).reduce_by_key(lambda a, b: a + b).collect()
+        assert ctx.metrics.shuffles == 1
+        assert ctx.metrics.shuffle_bytes > 0
+
+    def test_map_side_combining_shrinks_shuffle(self):
+        pairs = [("hot", 1)] * 100
+        combined_ctx = MiniSparkContext(4)
+        combined_ctx.parallelize(pairs, 4).reduce_by_key(lambda a, b: a + b).collect()
+        plain_ctx = MiniSparkContext(4)
+        plain_ctx.parallelize(pairs, 4).partition_by(4).collect()
+        assert (
+            combined_ctx.metrics.shuffle_records
+            < plain_ctx.metrics.shuffle_records
+        )
+
+    def test_shuffle_reuse(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)]).reduce_by_key(lambda a, b: a + b)
+        rdd.collect()
+        rdd.collect()
+        assert ctx.metrics.shuffles == 1  # blocks cached, not reshuffled
+
+    def test_narrow_ops_free(self, ctx):
+        ctx.parallelize(range(50)).map(lambda x: x).filter(bool).collect()
+        assert ctx.metrics.shuffles == 0

@@ -1,0 +1,82 @@
+"""Tests for FS-Join on the RDD engine (the Spark port)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_self_join
+from repro.core import FSJoin, FSJoinConfig, JoinMethod, PivotMethod
+from repro.data.records import RecordCollection
+from repro.rdd import MiniSparkContext, fsjoin_rdd
+from repro.similarity.functions import SimilarityFunction
+from tests.conftest import random_collection
+
+
+class TestKnownResults:
+    def test_small_records(self, small_records):
+        ctx = MiniSparkContext(4)
+        results = fsjoin_rdd(ctx, small_records, FSJoinConfig(theta=0.6, n_vertical=3))
+        assert set(results) == {(0, 1), (0, 2), (1, 2), (3, 4)}
+        assert results[(0, 2)] == pytest.approx(1.0)
+
+    def test_empty_collection(self):
+        ctx = MiniSparkContext(4)
+        assert fsjoin_rdd(ctx, RecordCollection(), FSJoinConfig(theta=0.8)) == {}
+
+    def test_uses_shuffles(self, medium_records):
+        ctx = MiniSparkContext(4)
+        fsjoin_rdd(ctx, medium_records, FSJoinConfig(theta=0.7, n_vertical=5))
+        # ordering + fragments + count aggregation = three shuffles.
+        assert ctx.metrics.shuffles == 3
+        assert ctx.metrics.shuffle_bytes > 0
+
+
+class TestEquivalenceWithMapReduce:
+    @pytest.mark.parametrize("theta", [0.6, 0.8, 0.95])
+    def test_same_results_as_mapreduce(self, theta, medium_records, cluster):
+        config = FSJoinConfig(theta=theta, n_vertical=6)
+        mapreduce = FSJoin(config, cluster).run(medium_records)
+        spark = fsjoin_rdd(MiniSparkContext(6), medium_records, config)
+        assert frozenset(spark) == mapreduce.result_set()
+        for pair, score in spark.items():
+            assert score == pytest.approx(mapreduce.result_pairs[pair])
+
+    @pytest.mark.parametrize("func", list(SimilarityFunction))
+    def test_functions(self, func):
+        records = random_collection(45, seed=71)
+        config = FSJoinConfig(theta=0.75, func=func, n_vertical=4)
+        got = frozenset(fsjoin_rdd(MiniSparkContext(4), records, config))
+        assert got == frozenset(naive_self_join(records, 0.75, func))
+
+    @pytest.mark.parametrize("join_method", list(JoinMethod))
+    @pytest.mark.parametrize("pivot_method", list(PivotMethod))
+    def test_methods(self, join_method, pivot_method):
+        records = random_collection(40, seed=72)
+        config = FSJoinConfig(
+            theta=0.7, n_vertical=5,
+            join_method=join_method, pivot_method=pivot_method,
+        )
+        got = frozenset(fsjoin_rdd(MiniSparkContext(4), records, config))
+        assert got == frozenset(naive_self_join(records, 0.7))
+
+    @pytest.mark.parametrize("n_horizontal", [1, 3, 6])
+    def test_horizontal(self, n_horizontal):
+        records = random_collection(50, max_len=30, seed=73)
+        config = FSJoinConfig(theta=0.75, n_vertical=5, n_horizontal=n_horizontal)
+        got = frozenset(fsjoin_rdd(MiniSparkContext(4), records, config))
+        assert got == frozenset(naive_self_join(records, 0.75))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        theta=st.sampled_from([0.6, 0.8, 0.9]),
+        n_vertical=st.integers(1, 8),
+        parallelism=st.integers(1, 6),
+    )
+    def test_random_configs(self, seed, theta, n_vertical, parallelism):
+        records = random_collection(30, seed=seed)
+        config = FSJoinConfig(theta=theta, n_vertical=n_vertical)
+        got = frozenset(fsjoin_rdd(MiniSparkContext(parallelism), records, config))
+        assert got == frozenset(naive_self_join(records, theta))

@@ -1,0 +1,136 @@
+"""Unit tests for repro.similarity.functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.functions import (
+    SimilarityFunction,
+    cosine,
+    dice,
+    get_similarity_function,
+    jaccard,
+    overlap,
+)
+
+token_sets = st.frozensets(st.integers(min_value=0, max_value=40), max_size=25)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert overlap({"a", "b"}, {"c", "d"}) == 0
+
+    def test_identical(self):
+        assert overlap({"a", "b", "c"}, {"a", "b", "c"}) == 3
+
+    def test_partial(self):
+        assert overlap({"a", "b", "c"}, {"b", "c", "d"}) == 2
+
+    def test_accepts_iterables(self):
+        assert overlap(["a", "b"], ("b", "c")) == 1
+
+    def test_empty(self):
+        assert overlap(set(), {"a"}) == 0
+
+    @given(token_sets, token_sets)
+    def test_symmetric(self, a, b):
+        assert overlap(a, b) == overlap(b, a)
+
+    @given(token_sets, token_sets)
+    def test_matches_set_intersection(self, a, b):
+        assert overlap(a, b) == len(a & b)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_known_value(self):
+        # |∩|=2, |∪|=4
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(token_sets, token_sets)
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(token_sets)
+    def test_self_similarity(self, a):
+        expected = 1.0 if a else 0.0
+        assert jaccard(a, a) == expected
+
+
+class TestDice:
+    def test_known_value(self):
+        # 2·2 / (3+3)
+        assert dice({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(2 / 3)
+
+    def test_both_empty(self):
+        assert dice(set(), set()) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_bounds(self, a, b):
+        assert 0.0 <= dice(a, b) <= 1.0
+
+    @given(token_sets, token_sets)
+    def test_dice_ge_jaccard(self, a, b):
+        # Dice = 2J/(1+J) ≥ J.
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(token_sets, token_sets)
+    def test_relation_to_jaccard(self, a, b):
+        j = jaccard(a, b)
+        assert dice(a, b) == pytest.approx(2 * j / (1 + j) if (a or b) else 0.0)
+
+
+class TestCosine:
+    def test_known_value(self):
+        assert cosine({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(2 / 3)
+
+    def test_one_empty(self):
+        assert cosine(set(), {"a"}) == 0.0
+
+    def test_different_sizes(self):
+        # |∩|=1, sizes 1 and 4
+        assert cosine({"a"}, {"a", "b", "c", "d"}) == pytest.approx(1 / math.sqrt(4))
+
+    @given(token_sets, token_sets)
+    def test_bounds(self, a, b):
+        assert 0.0 <= cosine(a, b) <= 1.0 + 1e-12
+
+    @given(token_sets, token_sets)
+    def test_cosine_dominates_dice(self, a, b):
+        # sqrt(ab) ≤ (a+b)/2 (AM–GM), so J ≤ D ≤ C for sets.
+        assert jaccard(a, b) - 1e-12 <= dice(a, b) <= cosine(a, b) + 1e-12
+
+
+class TestGetSimilarityFunction:
+    @pytest.mark.parametrize(
+        "name,func",
+        [("jaccard", jaccard), ("dice", dice), ("cosine", cosine)],
+    )
+    def test_by_string(self, name, func):
+        assert get_similarity_function(name) is func
+
+    def test_by_enum(self):
+        assert get_similarity_function(SimilarityFunction.DICE) is dice
+
+    def test_case_insensitive(self):
+        assert get_similarity_function("JACCARD") is jaccard
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_similarity_function("hamming")

@@ -1,0 +1,68 @@
+"""Tests for exact pair verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.functions import SimilarityFunction, jaccard
+from repro.similarity.verify import intersection_size, verify_pair
+
+sorted_lists = st.lists(
+    st.integers(0, 60), max_size=25, unique=True
+).map(sorted)
+
+
+class TestIntersectionSize:
+    def test_hash_path(self):
+        assert intersection_size(["a", "b", "c"], ["b", "c", "d"]) == 2
+
+    def test_sorted_path(self):
+        assert intersection_size([1, 3, 5, 7], [3, 4, 5, 6], sorted_input=True) == 2
+
+    def test_empty(self):
+        assert intersection_size([], [1, 2], sorted_input=True) == 0
+
+    def test_identical_sorted(self):
+        assert intersection_size([1, 2, 3], [1, 2, 3], sorted_input=True) == 3
+
+    def test_disjoint_sorted(self):
+        assert intersection_size([1, 2], [3, 4], sorted_input=True) == 0
+
+    @given(sorted_lists, sorted_lists)
+    def test_sorted_matches_hash(self, a, b):
+        assert intersection_size(a, b, sorted_input=True) == intersection_size(a, b)
+
+    @given(sorted_lists, sorted_lists)
+    def test_symmetric(self, a, b):
+        assert intersection_size(a, b, sorted_input=True) == intersection_size(
+            b, a, sorted_input=True
+        )
+
+
+class TestVerifyPair:
+    def test_accepts_similar(self):
+        score = verify_pair(["a", "b", "c", "d"], ["a", "b", "c", "e"], 0.5)
+        assert score == pytest.approx(3 / 5)
+
+    def test_rejects_dissimilar(self):
+        assert verify_pair(["a", "b"], ["c", "d"], 0.5) is None
+
+    def test_boundary_accepted(self):
+        assert verify_pair(["a", "b"], ["a", "b"], 1.0) == pytest.approx(1.0)
+
+    def test_dice_function(self):
+        score = verify_pair(
+            ["a", "b", "c"], ["b", "c", "d"], 0.6, func=SimilarityFunction.DICE
+        )
+        assert score == pytest.approx(2 / 3)
+
+    @given(sorted_lists, sorted_lists)
+    def test_agrees_with_jaccard(self, a, b):
+        score = verify_pair(a, b, 0.5, sorted_input=True)
+        direct = jaccard(set(a), set(b))
+        if direct >= 0.5:
+            assert score == pytest.approx(direct)
+        else:
+            assert score is None
