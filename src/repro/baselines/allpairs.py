@@ -14,13 +14,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.baselines.ppjoin import EncodedRecord, JoinStats, encode_by_frequency
 from repro.data.records import RecordCollection
 from repro.similarity.functions import SimilarityFunction
-from repro.similarity.thresholds import (
-    length_lower_bound,
-    passes_threshold,
-    prefix_length,
-    similarity_from_overlap,
-)
-from repro.similarity.verify import intersection_size
+from repro.similarity.thresholds import length_lower_bound, prefix_length
+from repro.similarity.verify import verify_pair
 
 
 def allpairs(
@@ -54,10 +49,10 @@ def allpairs(
             if stats is not None:
                 stats.candidates += 1
                 stats.verifications += 1
-            common = intersection_size(tokens, other_tokens, sorted_input=True)
-            if passes_threshold(func, theta, common, size, other_size):
+            score = verify_pair(tokens, other_tokens, theta, func, sorted_input=True)
+            if score is not None:
                 key = (rid, other_rid) if rid < other_rid else (other_rid, rid)
-                results[key] = similarity_from_overlap(func, common, size, other_size)
+                results[key] = score
                 if stats is not None:
                     stats.results += 1
         for position in range(probe_len):

@@ -43,11 +43,9 @@ from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import (
     length_lower_bound,
     length_upper_bound,
-    passes_threshold,
     required_overlap,
-    similarity_from_overlap,
 )
-from repro.similarity.verify import intersection_size
+from repro.similarity.verify import verify_pair
 
 
 def partition_count(
@@ -178,15 +176,12 @@ class _VerifyJob(MapReduceJob):
         rid_s, rid_t = key
         tokens_s = self.encoded[rid_s]
         tokens_t = self.encoded[rid_t]
-        common = intersection_size(tokens_s, tokens_t, sorted_input=True)
         context.increment("massjoin.verify", "candidates")
-        if passes_threshold(self.func, self.theta, common, len(tokens_s), len(tokens_t)):
-            emit(
-                key,
-                similarity_from_overlap(
-                    self.func, common, len(tokens_s), len(tokens_t)
-                ),
-            )
+        score = verify_pair(
+            tokens_s, tokens_t, self.theta, self.func, sorted_input=True
+        )
+        if score is not None:
+            emit(key, score)
 
 
 class MassJoin:

@@ -25,12 +25,10 @@ from repro.data.records import RecordCollection
 from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import (
     length_lower_bound,
-    passes_threshold,
     prefix_length,
     required_overlap,
-    similarity_from_overlap,
 )
-from repro.similarity.verify import intersection_size
+from repro.similarity.verify import verify_pair
 
 EncodedRecord = Tuple[int, Tuple[int, ...]]  # (rid, strictly increasing ranks)
 
@@ -168,12 +166,10 @@ def ppjoin(
                     continue
             if stats is not None:
                 stats.verifications += 1
-            common = intersection_size(tokens, other_tokens, sorted_input=True)
-            if passes_threshold(func, theta, common, size, other_size):
+            score = verify_pair(tokens, other_tokens, theta, func, sorted_input=True)
+            if score is not None:
                 key = (rid, other_rid) if rid < other_rid else (other_rid, rid)
-                results[key] = similarity_from_overlap(
-                    func, common, size, other_size
-                )
+                results[key] = score
                 if stats is not None:
                     stats.results += 1
         for position in range(probe_len):

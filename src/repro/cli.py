@@ -31,6 +31,7 @@ from repro.core.rsjoin import FSJoinRS
 from repro.core.topk import topk_similar_pairs
 from repro.data import dataset_stats, load_records, make_corpus, save_records
 from repro.errors import ReproError
+from repro.mapreduce.executors import ExecutorKind
 from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
 from repro.similarity.functions import SimilarityFunction
 
@@ -72,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--workers", type=int, default=10)
     join.add_argument("--vertical", type=int, default=30)
     join.add_argument("--horizontal", type=int, default=10)
+    join.add_argument("--executor", choices=[k.value for k in ExecutorKind],
+                      default="serial",
+                      help="task-execution backend: serial (default, "
+                           "deterministic single process), thread, or "
+                           "process (real cores)")
     join.add_argument("--quiet", action="store_true",
                       help="suppress the metrics summary on stderr")
 
@@ -81,6 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--func", choices=[f.value for f in SimilarityFunction],
                       default="jaccard")
     topk.add_argument("--workers", type=int, default=10)
+    topk.add_argument("--executor", choices=[k.value for k in ExecutorKind],
+                      default="serial")
 
     estimate = sub.add_parser(
         "estimate", help="sampling-based result-count estimate"
@@ -137,7 +145,9 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_join(args) -> int:
-    cluster = SimulatedCluster(ClusterSpec(workers=args.workers))
+    cluster = SimulatedCluster(
+        ClusterSpec(workers=args.workers, executor=args.executor)
+    )
     left = load_records(args.input)
     started = time.perf_counter()
     if args.right:
@@ -169,7 +179,9 @@ def _cmd_join(args) -> int:
 
 
 def _cmd_topk(args) -> int:
-    cluster = SimulatedCluster(ClusterSpec(workers=args.workers))
+    cluster = SimulatedCluster(
+        ClusterSpec(workers=args.workers, executor=args.executor)
+    )
     records = load_records(args.input)
     pairs = topk_similar_pairs(
         records, args.k, func=SimilarityFunction(args.func), cluster=cluster

@@ -19,7 +19,7 @@ The pipeline (Fig. 3 of the paper) is three MapReduce jobs:
 :class:`repro.core.fsjoin.FSJoin` drives the pipeline.
 """
 
-from repro.core.config import FilterConfig, FSJoinConfig, JoinMethod
+from repro.core.config import ExecutorKind, FilterConfig, FSJoinConfig, JoinMethod
 from repro.core.fsjoin import FSJoin
 from repro.core.ordering import GlobalOrder, compute_global_ordering
 from repro.core.pivots import PivotMethod, select_pivots
@@ -40,6 +40,7 @@ __all__ = [
     "FSJoinConfig",
     "FilterConfig",
     "JoinMethod",
+    "ExecutorKind",
     "GlobalOrder",
     "compute_global_ordering",
     "PivotMethod",

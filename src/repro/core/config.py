@@ -5,8 +5,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from repro.core.pivots import PivotMethod
 from repro.errors import ConfigError
+from repro.mapreduce.executors import ExecutorKind
 from repro.similarity.functions import SimilarityFunction
 
 
@@ -28,12 +31,21 @@ class FilterConfig:
     StrL-Filter (Lemma 1) is the baseline filter the paper always keeps on
     in Table IV; the three segment-aware filters (Lemmas 2–4) are FS-Join's
     novel contributions and can be toggled for the ablation.
+
+    ``early_verify`` enables PPJoin-style positional upper-bounding inside
+    the fragment join's segment merges: the merge is abandoned as soon as
+    the remaining suffixes cannot reach the smallest intersection that
+    would survive the post-intersection filters.  Join results are
+    provably unchanged (the bound only fires on pairs the filters would
+    prune anyway); the flag exists so the saved token comparisons can be
+    measured.
     """
 
     strl: bool = True
     segl: bool = True
     segi: bool = True
     segd: bool = True
+    early_verify: bool = True
 
     @staticmethod
     def none() -> "FilterConfig":
@@ -65,6 +77,10 @@ class FSJoinConfig:
         n_horizontal: Number of *base* horizontal (length) partitions; 1
             disables horizontal partitioning (the paper's FS-Join-V).
         pivot_seed: Seed for the Random pivot method.
+        executor: Task-execution backend used when the driver builds its
+            own cluster (``serial``/``thread``/``process``); ``None``
+            inherits the :class:`~repro.mapreduce.runtime.ClusterSpec`
+            default.  Ignored when an explicit cluster is passed in.
     """
 
     theta: float
@@ -75,6 +91,7 @@ class FSJoinConfig:
     filters: FilterConfig = field(default_factory=FilterConfig)
     n_horizontal: int = 1
     pivot_seed: int = 0
+    executor: Optional[ExecutorKind] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.theta <= 1.0:
@@ -87,6 +104,14 @@ class FSJoinConfig:
         object.__setattr__(self, "func", SimilarityFunction(self.func))
         object.__setattr__(self, "join_method", JoinMethod(self.join_method))
         object.__setattr__(self, "pivot_method", PivotMethod(self.pivot_method))
+        if self.executor is not None:
+            try:
+                object.__setattr__(self, "executor", ExecutorKind(self.executor))
+            except ValueError:
+                valid = ", ".join(k.value for k in ExecutorKind)
+                raise ConfigError(
+                    f"unknown executor {self.executor!r} (choose from: {valid})"
+                ) from None
 
     @property
     def uses_horizontal(self) -> bool:

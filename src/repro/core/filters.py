@@ -90,6 +90,43 @@ class FragmentFilters:
         return seg_diff > budget
 
     # ------------------------------------------------------------------
+    @property
+    def early_termination(self) -> bool:
+        """Whether the fragment merge may use the early-termination bound."""
+        return self.config.early_verify
+
+    def min_required_common(self, seg_s: Segment, seg_t: Segment) -> int:
+        """Smallest segment intersection that survives ``post_intersection``.
+
+        Both post-intersection filters are monotone in ``common`` (a larger
+        intersection can only help a pair survive), so the segment merge
+        may be abandoned as soon as the remaining suffixes cannot reach
+        this value: the pair would be pruned — or, at 0 overlap, dropped
+        as disjoint — whatever the exact count turned out to be.  The
+        result is always ≥ 1 because zero-overlap segment pairs are never
+        emitted.
+        """
+        required = 1
+        if not (self.config.segi or self.config.segd):
+            return required
+        len_s, len_t = seg_s.info.str_len, seg_t.info.str_len
+        tau = required_overlap(self.func, self.theta, len_s, len_t)
+        head = min(seg_s.info.ahead, seg_t.info.ahead)
+        tail = min(seg_s.info.behind, seg_t.info.behind)
+        if self.config.segi:
+            # Lemma 3 prunes when common < tau − head − tail.
+            required = max(required, tau - head - tail)
+        if self.config.segd:
+            # Lemma 4 prunes when |seg_s| + |seg_t| − 2·common > budget,
+            # i.e. the pair survives iff common ≥ ⌈(|seg_s|+|seg_t|−budget)/2⌉.
+            budget = (
+                (len_s + len_t - 2 * tau)
+                - abs(seg_s.info.ahead - seg_t.info.ahead)
+                - abs(seg_s.info.behind - seg_t.info.behind)
+            )
+            required = max(required, -((budget - len(seg_s) - len(seg_t)) // 2))
+        return required
+
     def pre_intersection(self, seg_s: Segment, seg_t: Segment) -> Optional[str]:
         """Filters that run before the segment intersection is computed."""
         len_s, len_t = seg_s.info.str_len, seg_t.info.str_len

@@ -23,7 +23,7 @@ from repro.core.verify_job import VerificationJob
 from repro.data.records import RecordCollection
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.pipeline import PipelineResult
-from repro.mapreduce.runtime import SimulatedCluster
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
 
 
 class FSJoin:
@@ -50,7 +50,14 @@ class FSJoin:
         returned results are identical); lets callers audit the
         intermediate HDFS volume that dominates MassJoin's cost story."""
         self.config = config
-        self.cluster = cluster or SimulatedCluster()
+        if cluster is None:
+            spec = (
+                ClusterSpec(executor=config.executor)
+                if config.executor is not None
+                else ClusterSpec()
+            )
+            cluster = SimulatedCluster(spec)
+        self.cluster = cluster
         self.dfs = dfs
 
     @property

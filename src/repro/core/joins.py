@@ -23,7 +23,7 @@ Three implementations, as in the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FilterConfig, JoinMethod
 from repro.core.filters import FragmentFilters
@@ -56,6 +56,40 @@ def merge_intersection(a: Sequence[int], b: Sequence[int]) -> int:
         else:
             j += 1
     return count
+
+
+def bounded_merge_intersection(
+    a: Sequence[int], b: Sequence[int], required: int = 1
+) -> Tuple[int, int, bool]:
+    """Merge-count with positional early termination (PPJoin-style).
+
+    Returns ``(count, comparisons, completed)``.  Before every comparison
+    the best achievable intersection — matches so far plus the shorter
+    remaining suffix — is checked against ``required``; when it falls
+    short the merge is abandoned (``completed=False``, ``count`` is then a
+    partial value ``< required``).  With ``required <= 1`` the bound can
+    never fire mid-merge, so the result is always exact.  ``comparisons``
+    counts the token comparisons actually performed, the quantity the
+    ``fsjoin.filter`` counters report.
+    """
+    i = j = count = comparisons = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        remaining_a = len_a - i
+        remaining_b = len_b - j
+        if count + (remaining_a if remaining_a < remaining_b else remaining_b) < required:
+            return count, comparisons, False
+        comparisons += 1
+        x, y = a[i], b[j]
+        if x == y:
+            count += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return count, comparisons, True
 
 
 def join_fragment(
@@ -101,7 +135,23 @@ def _consider_pair(
         _bump(context, f"pruned_{pruned}")
         return
     if common is None:
-        common = merge_intersection(seg_a.tokens, seg_b.tokens)
+        # Early-termination merge: abandon as soon as the remaining
+        # suffixes cannot reach the smallest intersection that would
+        # survive the post-intersection filters.  Safe because those
+        # filters are monotone in ``common`` (see FragmentFilters.
+        # min_required_common); an abandoned pair was doomed either way.
+        required = (
+            filters.min_required_common(seg_a, seg_b)
+            if filters.early_termination
+            else 1
+        )
+        common, comparisons, completed = bounded_merge_intersection(
+            seg_a.tokens, seg_b.tokens, required
+        )
+        _bump(context, "verify_token_comparisons", comparisons)
+        if not completed:
+            _bump(context, "pruned_overlap_bound")
+            return
     if common == 0:
         _bump(context, "disjoint_segments")
         return

@@ -13,7 +13,7 @@ from typing import List, Tuple
 
 from repro.mapreduce.job import JobContext, MapReduceJob
 from repro.similarity.functions import SimilarityFunction
-from repro.similarity.thresholds import passes_threshold, similarity_from_overlap
+from repro.similarity.verify import verify_overlap
 
 PartialCount = Tuple[int, int, int]  # (common, len_s, len_t)
 
@@ -40,6 +40,11 @@ class VerificationJob(MapReduceJob):
         total = sum(common for common, _, _ in values)
         _, len_s, len_t = values[0]
         context.increment("fsjoin.verify", "candidates")
-        if passes_threshold(self.func, self.theta, total, len_s, len_t):
+        # Shared verification rule (Section V-B) — the same early-terminating
+        # verifier module the in-memory joins use, applied to the aggregated
+        # count (the token comparisons themselves were already saved in the
+        # filter job's bounded merges).
+        score = verify_overlap(self.func, self.theta, total, len_s, len_t)
+        if score is not None:
             context.increment("fsjoin.verify", "results")
-            emit(key, similarity_from_overlap(self.func, total, len_s, len_t))
+            emit(key, score)

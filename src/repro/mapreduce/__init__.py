@@ -16,6 +16,14 @@ See :mod:`repro.mapreduce.runtime` for the engine and
 """
 
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.executors import (
+    ExecutorKind,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadExecutor,
+    create_executor,
+)
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobContext, MapReduceJob
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
@@ -26,6 +34,12 @@ from repro.mapreduce.shuffle import stable_hash
 
 __all__ = [
     "Counters",
+    "ExecutorKind",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "create_executor",
     "InMemoryDFS",
     "MapReduceJob",
     "JobContext",

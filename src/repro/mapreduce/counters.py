@@ -10,11 +10,17 @@ from collections import defaultdict
 from typing import Dict, Iterator, Tuple
 
 
+def _int_dict() -> Dict[str, int]:
+    """Module-level factory so :class:`Counters` stays picklable (a lambda
+    default factory would break shipping task counters across processes)."""
+    return defaultdict(int)
+
+
 class Counters:
     """A two-level ``group → name → count`` counter map."""
 
     def __init__(self) -> None:
-        self._groups: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._groups: Dict[str, Dict[str, int]] = defaultdict(_int_dict)
 
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``group:name``."""

@@ -2,11 +2,15 @@
 
 :class:`SimulatedCluster` executes a :class:`~repro.mapreduce.job.MapReduceJob`
 with full Hadoop semantics — input splits, per-task setup, map, optional
-combiner, hash (or custom) partitioning, sort/group, reduce — in a single
-process, deterministically.  Parallelism is *accounted for* rather than
-exercised: every task's compute time is measured with a monotonic clock and
-its data volumes recorded, and :mod:`repro.mapreduce.costmodel` converts
-those observations into simulated cluster wall-clock for any worker count.
+combiner, hash (or custom) partitioning, sort/group, reduce — deterministically.
+Parallelism is both *accounted for* (every task's compute time is measured
+with a monotonic clock and :mod:`repro.mapreduce.costmodel` converts those
+observations into simulated cluster wall-clock for any worker count) and,
+since the executor layer, optionally *exercised*: each phase's tasks are
+self-contained picklable closures dispatched through a pluggable
+:class:`~repro.mapreduce.executors.TaskExecutor` backend (serial, thread
+pool, or process pool).  Task outputs are merged in task-index order, so
+results and counters are bit-identical across backends.
 
 The paper's cluster (Section VI-A) is 10 workers with 3 reduce slots each
 and "the number of reduce tasks set to be three times the number of nodes";
@@ -15,12 +19,14 @@ and "the number of reduce tasks set to be three times the number of nodes";
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ExecutionError
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.executors import ExecutorKind, TaskExecutor, create_executor
 from repro.mapreduce.job import JobContext, MapReduceJob
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.shuffle import group_sort_key
@@ -44,15 +50,31 @@ class ClusterSpec:
         workers: Number of worker nodes (the paper uses 5/10/15).
         map_slots: Concurrent map tasks per worker.
         reduce_slots: Concurrent reduce tasks per worker (paper: 3).
+        executor: Task-execution backend (``serial``/``thread``/``process``).
+            ``serial`` keeps the historical single-process behaviour;
+            ``process`` runs tasks on real cores.  Results are identical.
+        executor_workers: Worker cap for the parallel backends
+            (``None`` = one per CPU core).
     """
 
     workers: int = 10
     map_slots: int = 3
     reduce_slots: int = 3
+    executor: ExecutorKind = ExecutorKind.SERIAL
+    executor_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1 or self.map_slots < 1 or self.reduce_slots < 1:
             raise ConfigError("cluster dimensions must all be >= 1")
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ConfigError("executor_workers must be >= 1")
+        try:
+            object.__setattr__(self, "executor", ExecutorKind(self.executor))
+        except ValueError:
+            valid = ", ".join(k.value for k in ExecutorKind)
+            raise ConfigError(
+                f"unknown executor {self.executor!r} (choose from: {valid})"
+            ) from None
 
     @property
     def default_reduce_tasks(self) -> int:
@@ -73,8 +95,61 @@ class JobResult:
     counters: Counters
 
 
+@dataclass
+class _TaskOutcome:
+    """What one completed task ships back to the driver.
+
+    ``payload`` is the map task's partition buffer or the reduce task's
+    output list; the driver publishes it — Hadoop's task commit — only
+    after the whole attempt loop succeeded, so a retried attempt's partial
+    output never leaks.
+    """
+
+    metrics: TaskMetrics
+    payload: Any
+    counters: Counters
+    retries: int
+
+
+def _execute_task(
+    item: Tuple[int, Any],
+    job: MapReduceJob,
+    phase: str,
+    n_reduce: int,
+    has_combiner: bool,
+    injector: Optional[FailureInjector],
+    max_attempts: int,
+) -> _TaskOutcome:
+    """Run one task — including its Hadoop-style retry loop — to completion.
+
+    Self-contained and picklable (via :func:`functools.partial` over
+    module-level state), so executors may ship it to worker processes; the
+    retry loop runs *inside* the worker, keeping failure injection exact
+    under parallel dispatch.  The injector is consulted after the work
+    (modelling a task that died before its commit); a failed attempt's
+    buffered output and counters are simply discarded.
+    """
+    task_id, payload = item
+    retries = 0
+    for attempt in range(1, max_attempts + 1):
+        if phase == "map":
+            metrics, out, counters = _run_map_task(
+                job, task_id, payload, n_reduce, has_combiner
+            )
+        else:
+            metrics, out, counters = _run_reduce_task(job, task_id, payload)
+        if injector is not None and injector(phase, task_id, attempt):
+            retries += 1
+            continue
+        return _TaskOutcome(
+            metrics=metrics, payload=out, counters=counters, retries=retries
+        )
+    raise ExecutionError(f"{phase} task {task_id} failed {max_attempts} attempts")
+
+
 class SimulatedCluster:
-    """Runs MapReduce jobs sequentially while accounting for parallel cost.
+    """Runs MapReduce jobs through a pluggable executor while accounting
+    for parallel cost.
 
     Hadoop's defining operational feature — re-executing failed tasks — is
     modelled via ``failure_injector``: a hook called before every task
@@ -82,6 +157,10 @@ class SimulatedCluster:
     partial output is discarded (tasks buffer locally and publish only on
     success, exactly like Hadoop's commit protocol) and the task is
     retried up to ``max_task_attempts`` times before the job aborts.
+
+    ``executor`` overrides the backend named by ``spec.executor``; it
+    accepts a kind name (``"serial"``/``"thread"``/``"process"``) or a
+    ready :class:`~repro.mapreduce.executors.TaskExecutor` instance.
     """
 
     def __init__(
@@ -89,39 +168,16 @@ class SimulatedCluster:
         spec: Optional[ClusterSpec] = None,
         failure_injector: Optional[FailureInjector] = None,
         max_task_attempts: int = 4,
+        executor: "Optional[ExecutorKind | str | TaskExecutor]" = None,
     ) -> None:
         if max_task_attempts < 1:
             raise ConfigError("max_task_attempts must be >= 1")
         self.spec = spec or ClusterSpec()
         self.failure_injector = failure_injector
         self.max_task_attempts = max_task_attempts
-
-    def _attempt_loop(
-        self,
-        phase: str,
-        task_id: int,
-        counters: Counters,
-        run_attempt: Callable[[int], Tuple[TaskMetrics, Callable[[], None]]],
-    ) -> TaskMetrics:
-        """Retry Hadoop-style until success or exhaustion.
-
-        ``run_attempt`` executes the task's work side-effect-free and
-        returns ``(task_metrics, publish)``; the injector is consulted
-        *after* the work (modelling a task that died before its commit) and
-        a failed attempt's buffered output and counters are discarded by
-        simply never calling ``publish``.
-        """
-        for attempt in range(1, self.max_task_attempts + 1):
-            task, publish = run_attempt(attempt)
-            if self.failure_injector is not None and self.failure_injector(
-                phase, task_id, attempt
-            ):
-                counters.increment("mapreduce", f"{phase}_task_retries")
-                continue
-            publish()
-            return task
-        raise ExecutionError(
-            f"{phase} task {task_id} failed {self.max_task_attempts} attempts"
+        self.executor = create_executor(
+            executor if executor is not None else self.spec.executor,
+            self.spec.executor_workers,
         )
 
     # ------------------------------------------------------------------
@@ -147,27 +203,16 @@ class SimulatedCluster:
 
         # ---- map phase ------------------------------------------------
         partitions: List[Dict[Any, List[Any]]] = [dict() for _ in range(n_reduce)]
-        splits = _split(input_pairs, n_map)
-        for task_id, split in enumerate(splits):
-
-            def run_map_attempt(attempt: int, task_id=task_id, split=split):
-                task, buffer, task_counters = _run_map_task(
-                    job, task_id, split, n_reduce, has_combiner
-                )
-
-                def publish() -> None:
-                    # Hadoop's task commit: visible only on success.
-                    for index, groups in buffer.items():
-                        target = partitions[index]
-                        for key, values in groups.items():
-                            target.setdefault(key, []).extend(values)
-                    counters.merge(task_counters)
-
-                return task, publish
-
-            metrics.map_tasks.append(
-                self._attempt_loop("map", task_id, counters, run_map_attempt)
-            )
+        for outcome in self._run_phase(
+            "map", job, _split(input_pairs, n_map), n_reduce, has_combiner
+        ):
+            # Hadoop's task commit: published in task-index order so the
+            # merged partitions are identical whichever backend ran the task.
+            for index, groups in outcome.payload.items():
+                target = partitions[index]
+                for key, values in groups.items():
+                    target.setdefault(key, []).extend(values)
+            self._fold(counters, metrics.map_tasks, "map", outcome)
 
         # ---- shuffle accounting ----------------------------------------
         shuffle_records = 0
@@ -184,24 +229,49 @@ class SimulatedCluster:
 
         # ---- reduce phase ----------------------------------------------
         output: List[Pair] = []
-        for task_id, partition in enumerate(partitions):
-
-            def run_reduce_attempt(attempt: int, task_id=task_id, partition=partition):
-                task, task_output, task_counters = _run_reduce_task(
-                    job, task_id, partition
-                )
-
-                def publish() -> None:
-                    output.extend(task_output)
-                    counters.merge(task_counters)
-
-                return task, publish
-
-            metrics.reduce_tasks.append(
-                self._attempt_loop("reduce", task_id, counters, run_reduce_attempt)
-            )
+        for outcome in self._run_phase(
+            "reduce", job, partitions, n_reduce, has_combiner
+        ):
+            output.extend(outcome.payload)
+            self._fold(counters, metrics.reduce_tasks, "reduce", outcome)
 
         return JobResult(output=output, metrics=metrics, counters=counters)
+
+    # ------------------------------------------------------------------
+    def _run_phase(
+        self,
+        phase: str,
+        job: MapReduceJob,
+        payloads: Sequence[Any],
+        n_reduce: int,
+        has_combiner: bool,
+    ) -> List[_TaskOutcome]:
+        """Dispatch one phase's tasks through the executor backend."""
+        fn = functools.partial(
+            _execute_task,
+            job=job,
+            phase=phase,
+            n_reduce=n_reduce,
+            has_combiner=has_combiner,
+            injector=self.failure_injector,
+            max_attempts=self.max_task_attempts,
+        )
+        return self.executor.run_tasks(fn, list(enumerate(payloads)))
+
+    @staticmethod
+    def _fold(
+        counters: Counters,
+        task_list: List[TaskMetrics],
+        phase: str,
+        outcome: _TaskOutcome,
+    ) -> None:
+        """Aggregate one committed task deterministically."""
+        task_list.append(outcome.metrics)
+        if outcome.retries:
+            counters.increment(
+                "mapreduce", f"{phase}_task_retries", outcome.retries
+            )
+        counters.merge(outcome.counters)
 
 
 def _split(pairs: Sequence[Pair], n_splits: int) -> List[Sequence[Pair]]:

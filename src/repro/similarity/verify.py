@@ -4,6 +4,14 @@ Verification computes the true intersection size of two token lists.  When
 both lists are sorted under the same global ordering a linear merge suffices
 (the ``O(m + n)`` case the paper mentions); unsorted inputs fall back to a
 hash-set intersection.
+
+The merge additionally supports **early termination** via a ``required``
+bound (PPJoin's positional filter, applied during verification): at every
+merge step the best achievable intersection is the matches found so far
+plus the shorter remaining suffix, so as soon as that upper bound drops
+below the required overlap the pair provably fails the threshold and the
+merge is abandoned.  :func:`verify_pair` derives ``required`` from the
+similarity threshold, making the early-terminating merge its default path.
 """
 
 from __future__ import annotations
@@ -11,23 +19,55 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.similarity.functions import SimilarityFunction
-from repro.similarity.thresholds import passes_threshold, similarity_from_overlap
+from repro.similarity.thresholds import (
+    passes_threshold,
+    required_overlap,
+    similarity_from_overlap,
+)
 
 
 def intersection_size(
-    s: Sequence, t: Sequence, sorted_input: bool = False
+    s: Sequence,
+    t: Sequence,
+    sorted_input: bool = False,
+    required: Optional[int] = None,
 ) -> int:
     """Return ``|set(s) ∩ set(t)|``.
 
     With ``sorted_input=True`` both sequences must be strictly increasing
     under a shared total order (tokens are unique within a record); a linear
     merge is used.  Otherwise a hash intersection is used.
+
+    ``required`` (sorted merge only) enables early termination: when the
+    matches found so far plus the shorter remaining suffix cannot reach
+    ``required``, the merge stops and returns the current count.  The
+    result is then some value ``< required`` — exact enough for any
+    threshold test that needs at least ``required`` common tokens, but not
+    necessarily the true intersection size.  With ``required=None`` (or on
+    the hash path, which cannot terminate early) the result is exact.
     """
     if not sorted_input:
-        return len(frozenset(s) & frozenset(t))
+        # One set, one pass over ``t`` (set.intersection deduplicates).
+        return len(set(s).intersection(t))
     i = j = count = 0
     len_s, len_t = len(s), len(t)
+    if required is None:
+        while i < len_s and j < len_t:
+            a, b = s[i], t[j]
+            if a == b:
+                count += 1
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return count
     while i < len_s and j < len_t:
+        remaining = len_s - i
+        other = len_t - j
+        if count + (remaining if remaining < other else other) < required:
+            return count
         a, b = s[i], t[j]
         if a == b:
             count += 1
@@ -40,15 +80,46 @@ def intersection_size(
     return count
 
 
+def verify_overlap(
+    func: SimilarityFunction,
+    theta: float,
+    common: int,
+    size_s: int,
+    size_t: int,
+) -> Optional[float]:
+    """Threshold-test a known overlap; return the score if ``sim ≥ θ``.
+
+    The shared verification rule of Section V-B: both the in-memory
+    verifiers and FS-Join's count-aggregation
+    :class:`~repro.core.verify_job.VerificationJob` derive the decision
+    from ``|s ∩ t|`` and the two set sizes alone.
+    """
+    if passes_threshold(func, theta, common, size_s, size_t):
+        return similarity_from_overlap(func, common, size_s, size_t)
+    return None
+
+
 def verify_pair(
     s: Sequence,
     t: Sequence,
     theta: float,
     func: SimilarityFunction = SimilarityFunction.JACCARD,
     sorted_input: bool = False,
+    early_termination: bool = True,
 ) -> Optional[float]:
-    """Verify one candidate pair; return its score if ``sim ≥ θ`` else None."""
-    common = intersection_size(s, t, sorted_input=sorted_input)
-    if passes_threshold(func, theta, common, len(s), len(t)):
-        return similarity_from_overlap(func, common, len(s), len(t))
-    return None
+    """Verify one candidate pair; return its score if ``sim ≥ θ`` else None.
+
+    With sorted input the merge early-terminates by default once the pair
+    provably cannot reach the equivalent-overlap threshold
+    ``required_overlap(func, θ, |s|, |t|)``; ``early_termination=False``
+    forces the full merge (the naive reference the property tests compare
+    against).  Both paths return identical results: an abandoned merge can
+    only happen when the true overlap is below the required bound, which
+    :func:`~repro.similarity.thresholds.passes_threshold` rejects.
+    """
+    func = SimilarityFunction(func)
+    required: Optional[int] = None
+    if sorted_input and early_termination:
+        required = required_overlap(func, theta, len(s), len(t))
+    common = intersection_size(s, t, sorted_input=sorted_input, required=required)
+    return verify_overlap(func, theta, common, len(s), len(t))

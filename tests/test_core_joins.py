@@ -192,3 +192,78 @@ class TestWithVerticalCuts:
                 expected = len(set(ranks_a) & set(rank_lists[j]))
                 if expected:
                     assert totals.get((i, j), 0) == expected
+
+
+class TestBoundedMerge:
+    @staticmethod
+    def _bmi(a, b, required):
+        from repro.core.joins import bounded_merge_intersection
+
+        return bounded_merge_intersection(a, b, required)
+
+    def test_exact_when_bound_reachable(self):
+        count, comparisons, completed = self._bmi((1, 3, 5), (3, 4, 5), 2)
+        assert (count, completed) == (2, True)
+        assert comparisons > 0
+
+    def test_abandons_unreachable_bound(self):
+        count, _, completed = self._bmi((1, 2, 3), (4, 5, 6), 3)
+        assert completed is False
+        assert count < 3
+
+    def test_required_one_never_aborts(self):
+        count, _, completed = self._bmi((1, 2), (3, 4), 1)
+        assert (count, completed) == (0, True)
+
+    @given(sorted_ranks, sorted_ranks, st.integers(0, 6))
+    def test_matches_full_merge_or_provably_below(self, a, b, required):
+        count, _, completed = self._bmi(a, b, required)
+        exact = merge_intersection(a, b)
+        if completed:
+            assert count == exact
+        else:
+            assert exact < required
+
+
+class TestEarlyTerminationInFragments:
+    """early_verify saves token comparisons without changing emissions."""
+
+    def _run_counted(self, segments, method, theta, early):
+        from repro.mapreduce.counters import Counters
+        from repro.mapreduce.job import JobContext
+
+        counters = Counters()
+        emitted: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        join_fragment(
+            segments,
+            method=method,
+            theta=theta,
+            func=SimilarityFunction.JACCARD,
+            filter_config=FilterConfig(early_verify=early),
+            emit_pair=lambda rs, ls, rt, lt, c: emitted.__setitem__((rs, rt), (c, ls, lt)),
+            context=JobContext(0, "reduce", counters),
+        )
+        return emitted, counters.get("fsjoin.filter", "verify_token_comparisons")
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(sorted_ranks, min_size=2, max_size=10),
+        st.sampled_from([0.5, 0.7, 0.9]),
+        st.sampled_from([JoinMethod.LOOP, JoinMethod.PREFIX]),
+    )
+    def test_same_emissions_never_more_comparisons(self, rank_lists, theta, method):
+        segments = _fragment_from(rank_lists)
+        with_bound, fast = self._run_counted(segments, method, theta, early=True)
+        without, full = self._run_counted(segments, method, theta, early=False)
+        assert with_bound == without
+        assert fast <= full
+
+    def test_savings_on_skewed_fragment(self):
+        """Long segments sharing only a hot suffix: the bound must fire."""
+        base = tuple(range(50, 80))
+        rank_lists = [(rid,) + base[rid % 5 :] for rid in range(12)]
+        segments = _fragment_from(rank_lists)
+        with_bound, fast = self._run_counted(segments, JoinMethod.LOOP, 0.9, True)
+        without, full = self._run_counted(segments, JoinMethod.LOOP, 0.9, False)
+        assert with_bound == without
+        assert fast < full

@@ -7,11 +7,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.similarity.functions import SimilarityFunction, jaccard
-from repro.similarity.verify import intersection_size, verify_pair
+from repro.similarity.verify import intersection_size, verify_overlap, verify_pair
 
 sorted_lists = st.lists(
     st.integers(0, 60), max_size=25, unique=True
 ).map(sorted)
+
+thetas = st.sampled_from((0.1, 0.3, 0.5, 0.72, 0.8, 0.9, 1.0))
+functions = st.sampled_from(list(SimilarityFunction))
 
 
 class TestIntersectionSize:
@@ -66,3 +69,53 @@ class TestVerifyPair:
             assert score == pytest.approx(direct)
         else:
             assert score is None
+
+
+class TestEarlyTermination:
+    """The bounded merge must be observationally identical to the naive one."""
+
+    def test_bounded_merge_stops_early(self):
+        # required=3 but at most 1 token can match: partial count returned.
+        assert intersection_size([1, 2, 3], [3, 4, 5], sorted_input=True, required=3) < 3
+
+    def test_bound_of_one_is_exact(self):
+        assert intersection_size([1, 2, 3], [2, 3, 4], sorted_input=True, required=1) == 2
+
+    def test_reachable_bound_keeps_exact_count(self):
+        assert intersection_size([1, 2, 3], [1, 2, 3], sorted_input=True, required=3) == 3
+
+    @given(sorted_lists, sorted_lists, thetas, functions)
+    def test_verify_pair_matches_naive_full_merge(self, a, b, theta, func):
+        """Property (all similarity functions): early-terminating
+        verify_pair agrees exactly with the full-merge verifier."""
+        fast = verify_pair(a, b, theta, func, sorted_input=True)
+        naive = verify_pair(
+            a, b, theta, func, sorted_input=True, early_termination=False
+        )
+        assert fast == naive
+
+    @given(sorted_lists, sorted_lists, thetas, functions)
+    def test_bounded_count_only_diverges_below_required(self, a, b, theta, func):
+        """When the bounded merge returns a different count than the exact
+        merge, both must be threshold failures (the abandoned pair was
+        provably dissimilar)."""
+        from repro.similarity.thresholds import required_overlap
+
+        required = required_overlap(func, theta, len(a), len(b))
+        bounded = intersection_size(a, b, sorted_input=True, required=required)
+        exact = intersection_size(a, b, sorted_input=True)
+        if bounded != exact:
+            assert bounded < required
+            assert exact < required
+            assert verify_overlap(func, theta, exact, len(a), len(b)) is None
+
+
+class TestVerifyOverlap:
+    def test_passing_overlap_scored(self):
+        assert verify_overlap(SimilarityFunction.JACCARD, 0.5, 3, 4, 4) == pytest.approx(3 / 5)
+
+    def test_failing_overlap_none(self):
+        assert verify_overlap(SimilarityFunction.JACCARD, 0.9, 1, 4, 4) is None
+
+    def test_zero_overlap_none(self):
+        assert verify_overlap(SimilarityFunction.DICE, 0.1, 0, 4, 4) is None
