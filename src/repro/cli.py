@@ -7,7 +7,9 @@ Subcommands:
 * ``join`` — self-join (or R-S join with ``--right``) a corpus file with a
   chosen algorithm and print the similar pairs as TSV;
 * ``topk`` — print the k most similar pairs;
-* ``estimate`` — sampling-based estimate of the join's result count.
+* ``estimate`` — sampling-based estimate of the join's result count;
+* ``index`` — build a persistent similarity-search index (serving layer);
+* ``search`` — probe an index file and print the exact hits as JSON.
 
 Examples::
 
@@ -16,6 +18,9 @@ Examples::
     python -m repro join wiki.txt --theta 0.8 --algorithm fsjoin
     python -m repro join left.txt --right right.txt --theta 0.8
     python -m repro topk wiki.txt -k 10
+    python -m repro index wiki.txt --output wiki.idx
+    python -m repro search wiki.idx --query "w007 w012 w040" --theta 0.6
+    python -m repro search wiki.idx --rid 17 --theta 0.8 -k 5
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.baselines import MassJoin, RIDPairsPPJoin, VSmartJoin
-from repro.core import FSJoin, FSJoinConfig
+from repro.core import FSJoin, FSJoinConfig, PivotMethod
 from repro.core.rsjoin import FSJoinRS
 from repro.core.topk import topk_similar_pairs
 from repro.data import dataset_stats, load_records, make_corpus, save_records
@@ -89,6 +94,37 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--workers", type=int, default=10)
     topk.add_argument("--executor", choices=[k.value for k in ExecutorKind],
                       default="serial")
+
+    index = sub.add_parser(
+        "index", help="build a persistent similarity-search index"
+    )
+    index.add_argument("input")
+    index.add_argument("--output", required=True,
+                       help="snapshot file the index is written to")
+    index.add_argument("--vertical", type=int, default=30)
+    index.add_argument("--pivot-method",
+                       choices=[m.value for m in PivotMethod],
+                       default=PivotMethod.EVEN_TF.value)
+    index.add_argument("--pivot-seed", type=int, default=0)
+
+    search = sub.add_parser(
+        "search", help="probe a similarity-search index (JSON output)"
+    )
+    search.add_argument("index", help="snapshot written by 'repro index'")
+    search.add_argument("--theta", type=float, default=0.8)
+    search.add_argument("--func", choices=[f.value for f in SimilarityFunction],
+                        default="jaccard")
+    search.add_argument("-k", type=int, default=None,
+                        help="return at most k hits per query")
+    what = search.add_mutually_exclusive_group(required=True)
+    what.add_argument("--query", help="probe tokens (whitespace-separated)")
+    what.add_argument("--rid", type=int,
+                      help="probe an indexed record by id (itself excluded)")
+    what.add_argument("--query-file",
+                      help="batch probe: one record per line, corpus format")
+    search.add_argument("--executor", choices=[k.value for k in ExecutorKind],
+                        default="serial",
+                        help="fan batched probes out over this backend")
 
     estimate = sub.add_parser(
         "estimate", help="sampling-based result-count estimate"
@@ -209,12 +245,78 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_index(args) -> int:
+    from repro.service import SegmentIndex, save_index
+
+    records = load_records(args.input)
+    started = time.perf_counter()
+    index = SegmentIndex.build(
+        records,
+        n_vertical=args.vertical,
+        pivot_method=args.pivot_method,
+        pivot_seed=args.pivot_seed,
+    )
+    size = save_index(index, args.output)
+    wall = time.perf_counter() - started
+    stats = index.posting_stats()
+    print(
+        f"indexed {stats['records']} records into {stats['fragments']} "
+        f"fragments ({stats['postings']} postings, vocab {stats['vocab']}) "
+        f"in {wall:.2f}s -> {args.output} ({size/1e6:.2f} MB)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    import json
+
+    from repro.service import SimilarityService
+
+    service = SimilarityService.load(args.index)
+    func = SimilarityFunction(args.func)
+
+    def hit_rows(hits):
+        return [{"rid": hit.rid, "score": round(hit.score, 6)} for hit in hits]
+
+    if args.query_file:
+        queries = [record.tokens for record in load_records(args.query_file)]
+        results = service.search_batch(
+            queries, args.theta, k=args.k, func=func, executor=args.executor
+        )
+        document = {
+            "theta": args.theta,
+            "func": func.value,
+            "results": [
+                {"query": list(tokens), "hits": hit_rows(hits)}
+                for tokens, hits in zip(queries, results)
+            ],
+        }
+    else:
+        if args.rid is not None:
+            tokens = list(service.index.tokens_of(args.rid))
+            hits = service.search_rid(args.rid, args.theta, k=args.k, func=func)
+        else:
+            tokens = args.query.split()
+            hits = service.search(tokens, args.theta, k=args.k, func=func)
+        document = {
+            "query": tokens,
+            "theta": args.theta,
+            "func": func.value,
+            "hits": hit_rows(hits),
+        }
+    print(json.dumps(document))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "join": _cmd_join,
     "topk": _cmd_topk,
     "estimate": _cmd_estimate,
+    "index": _cmd_index,
+    "search": _cmd_search,
 }
 
 

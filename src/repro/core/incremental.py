@@ -74,10 +74,18 @@ class IncrementalSelfJoin:
         return self.results
 
     def add_batch(self, batch: RecordCollection) -> Dict[Pair, float]:
-        """Insert a batch; returns only the delta pairs it created."""
+        """Insert a batch; returns only the delta pairs it created.
+
+        Record ids clashing with the maintained collection — or repeated
+        inside the batch itself — raise :class:`DataError` before any
+        join runs, so a rejected batch cannot corrupt the maintained
+        result set.
+        """
+        seen = set()
         for record in batch:
-            if record.rid in self._records:
+            if record.rid in self._records or record.rid in seen:
                 raise DataError(f"record id {record.rid} already present")
+            seen.add(record.rid)
         delta: Dict[Pair, float] = {}
 
         # New × new.

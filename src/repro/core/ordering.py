@@ -61,6 +61,31 @@ class GlobalOrder:
         except KeyError:
             raise DataError(f"token {token!r} not in the global ordering") from None
 
+    def knows(self, token: str) -> bool:
+        """Whether ``token`` is part of the ordering."""
+        return token in self._rank
+
+    def extend(self, frequencies: Sequence[Tuple[str, int]]) -> int:
+        """Append unseen tokens *after* every existing rank; returns the count.
+
+        The incremental-indexing hook (service ``apply_batch``): existing
+        ranks — and everything derived from them (encoded records, pivot
+        cuts, posting lists) — stay valid, because new tokens only extend
+        the order at the high end.  The appended tokens are ordered among
+        themselves by ``(frequency, token)``, mirroring the constructor;
+        tokens already present are ignored (their global frequency is not
+        updated — the order is a fixed total order, not a live histogram).
+        """
+        fresh: Dict[str, int] = {}
+        for token, freq in frequencies:
+            if token not in self._rank and token not in fresh:
+                fresh[token] = freq
+        for token, freq in sorted(fresh.items(), key=lambda item: (item[1], item[0])):
+            self._rank[token] = len(self._tokens)
+            self._tokens.append(token)
+            self._freqs.append(freq)
+        return len(fresh)
+
     def token(self, rank: int) -> str:
         """Inverse lookup (rank → token)."""
         return self._tokens[rank]

@@ -8,11 +8,18 @@ so once it holds ``k`` pairs, its top ``k`` are the global top ``k``.
 
 FS-Join fits this loop well because lower thresholds only lengthen
 prefixes and weaken filters — the pipeline itself is unchanged.
+
+When the corpus is already indexed for serving
+(:class:`repro.service.SegmentIndex`), pass the index in: every
+relaxation round then probes the standing index (one ``self_join`` per
+θ) instead of re-running the three-job pipeline — same exact pairs and
+scores, no repeated ordering/shuffle work
+(``tests/test_core_topk.py`` asserts bit-identical results).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import FSJoinConfig
 from repro.core.fsjoin import FSJoin
@@ -20,6 +27,9 @@ from repro.data.records import RecordCollection
 from repro.errors import ConfigError
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.similarity.functions import SimilarityFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses core)
+    from repro.service.index import SegmentIndex
 
 PairScore = Tuple[Tuple[int, int], float]
 
@@ -33,6 +43,7 @@ def topk_similar_pairs(
     min_theta: float = 0.1,
     shrink: float = 0.75,
     config: Optional[FSJoinConfig] = None,
+    index: Optional["SegmentIndex"] = None,
 ) -> List[PairScore]:
     """Return the ``k`` highest-scoring pairs, best first.
 
@@ -48,6 +59,12 @@ def topk_similar_pairs(
         config: Optional template config; its θ/func are overridden per
             round, everything else (partitions, pivots, join method) is
             kept.
+        index: An already-built service index over ``records``.  When
+            given, relaxation rounds probe the index instead of running
+            the FS-Join pipeline; results are identical (the index
+            ``self_join`` returns the exact ``FSJoin.run`` pair map) and
+            no cluster is needed.  Filters still follow
+            ``config.filters``.
 
     Ties at the k-th score are broken by record-id pair, deterministically.
     """
@@ -57,16 +74,20 @@ def topk_similar_pairs(
         raise ConfigError("need 0 < min_theta <= start_theta <= 1")
     if not 0.0 < shrink < 1.0:
         raise ConfigError("shrink must be in (0, 1)")
-    cluster = cluster or SimulatedCluster()
+    if index is None:
+        cluster = cluster or SimulatedCluster()
 
     theta = start_theta
     while True:
-        round_config = _with_theta(config, theta, func)
-        result = FSJoin(round_config, cluster).run(records)
-        if len(result.pairs) >= k or theta <= min_theta:
-            ranked = sorted(
-                result.result_pairs.items(), key=lambda item: (-item[1], item[0])
+        if index is not None:
+            pairs: Dict[Tuple[int, int], float] = index.self_join(
+                theta, func, config.filters if config is not None else None
             )
+        else:
+            round_config = _with_theta(config, theta, func)
+            pairs = FSJoin(round_config, cluster).run(records).result_pairs
+        if len(pairs) >= k or theta <= min_theta:
+            ranked = sorted(pairs.items(), key=lambda item: (-item[1], item[0]))
             return ranked[:k]
         theta = max(min_theta, theta * shrink)
 

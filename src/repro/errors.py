@@ -26,3 +26,7 @@ class ExecutionError(ReproError):
 
 class DFSError(ReproError):
     """A distributed-file-system operation failed (missing path, overwrite)."""
+
+
+class SnapshotError(ReproError):
+    """An index snapshot is missing, unreadable, or version-mismatched."""

@@ -26,14 +26,38 @@ class InMemoryDFS:
         self._sizes: Dict[str, int] = {}
 
     def write(self, path: str, pairs: Iterable[Pair], overwrite: bool = False) -> int:
-        """Store ``pairs`` at ``path``; returns the estimated byte size."""
+        """Store ``pairs`` at ``path``; returns the estimated byte size.
+
+        Overwrites are atomic-by-convention (write-then-swap): the new
+        content is fully materialized and sized *before* the path is
+        touched, so a failure while consuming ``pairs`` — a generator
+        that raises, a malformed entry — leaves the previous content
+        intact.  Disk-side snapshot code
+        (:mod:`repro.service.snapshot`) follows the same discipline with
+        a temp file plus :func:`os.replace`.
+        """
         if path in self._files and not overwrite:
             raise DFSError(f"path already exists: {path!r}")
         data = list(pairs)
-        self._files[path] = data
         size = sum(estimate_pair_size(k, v) for k, v in data)
+        # Commit point: nothing above may mutate the store.
+        self._files[path] = data
         self._sizes[path] = size
         return size
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` to ``dst`` (``dst`` must not exist).
+
+        Hadoop's rename is the primitive job commit is built on; modelling
+        it with no-clobber semantics keeps "swap a finished file into
+        place" explicit: write to a temp path, then ``rename``.
+        """
+        if src not in self._files:
+            raise DFSError(f"no such path: {src!r}")
+        if dst in self._files:
+            raise DFSError(f"destination already exists: {dst!r}")
+        self._files[dst] = self._files.pop(src)
+        self._sizes[dst] = self._sizes.pop(src)
 
     def read(self, path: str) -> List[Pair]:
         """Return the pairs stored at ``path``."""

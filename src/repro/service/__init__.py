@@ -1,0 +1,41 @@
+"""The serving layer: online similarity search over a persistent index.
+
+Everything the offline pipeline computes per join — global ordering,
+Even-TF pivots, vertical segments, the filter lemmas — is reusable as a
+standing index.  This package builds that index once
+(:class:`~repro.service.index.SegmentIndex`), serves exact probe queries
+over it with caching and batching
+(:class:`~repro.service.service.SimilarityService`), and persists it with
+versioned, atomically-swapped snapshots (:mod:`repro.service.snapshot`).
+
+Example:
+    >>> from repro.data import make_corpus
+    >>> from repro.service import SegmentIndex, SimilarityService
+    >>> records = make_corpus("wiki", 100, seed=7)
+    >>> service = SimilarityService(SegmentIndex.build(records, n_vertical=8))
+    >>> hits = service.search(records[0].tokens, theta=0.9)
+    >>> hits[0].rid == records[0].rid  # the record itself, score 1.0
+    True
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.index import EncodedQuery, SearchHit, SegmentIndex
+from repro.service.service import SimilarityService
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    load_index,
+    save_index,
+)
+
+__all__ = [
+    "EncodedQuery",
+    "LRUCache",
+    "SearchHit",
+    "SegmentIndex",
+    "SimilarityService",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "load_index",
+    "save_index",
+]

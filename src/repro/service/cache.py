@@ -1,0 +1,66 @@
+"""A bounded LRU cache for probe results.
+
+The service keys entries by ``(canonical token tuple, θ, func)`` — the
+full identity of an exact probe — and stores the *complete* hit list, so
+one cached entry serves every ``k`` truncation and every ``exclude``
+filter of the same query.  Capacity 0 disables caching (every ``get``
+misses, ``put`` is a no-op), which the benchmarks use to measure cold
+probes.
+
+Hit/miss/eviction accounting lives in the service's
+:class:`~repro.mapreduce.counters.Counters` (the cache itself stays a dumb
+container so it can be unit-tested in isolation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigError
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ConfigError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """Return the cached value (refreshing its recency) or ``None``."""
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            return None
+        return self._entries[key]
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh ``key``; evicts the least recently used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (index mutation invalidates all results)."""
+        self._entries.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Keys from least to most recently used (for tests)."""
+        return tuple(self._entries)

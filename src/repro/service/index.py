@@ -1,0 +1,572 @@
+"""The persistent segment index behind the online similarity service.
+
+FS-Join's vertical-partitioning machinery (global ordering → pivots →
+disjoint segments) is used offline as a *shuffle key*: fragments exist only
+for the duration of one filter job.  :class:`SegmentIndex` turns the same
+machinery into a *queryable index*:
+
+* the corpus is rank-encoded under one :class:`~repro.core.ordering.GlobalOrder`
+  and split at Even-TF pivots exactly as the filter job's map phase does;
+* every segment is posted into its fragment's inverted lists —
+  ``token rank → [(record id, position in segment), ...]`` — so a probe
+  touches only the fragments and posting lists its own prefix tokens hit;
+* each record keeps its full rank tuple and its per-fragment
+  :class:`~repro.core.partitioning.Segment` objects (the ``segInfo``
+  metadata of Definition 6), so the StrL/SegL/SegI/SegD lemmas of
+  :mod:`repro.core.filters` apply to probe/candidate pairs verbatim.
+
+A probe is exact: candidate generation uses the record-level prefix filter
+(complete because the index stores *all* tokens while the probe scans only
+its prefix — any pair with ``sim ≥ θ`` must collide on a probed token), the
+fragment filters only discard pairs the lemmas prove dissimilar, and
+survivors go through the same early-terminating merge + threshold rule as
+:func:`repro.similarity.verify.verify_pair`.  ``tests/test_service_index.py``
+property-tests that ``probe`` returns precisely the partner set
+``FSJoin.run`` produces, for several θ and similarity functions.
+
+The index is θ- and function-agnostic: both are probe-time arguments, so
+one snapshot serves every threshold (this is what lets
+:func:`repro.core.topk.topk_similar_pairs` reuse it across relaxation
+rounds).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TokenCounter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import FilterConfig
+from repro.core.filters import FragmentFilters
+from repro.core.joins import bounded_merge_intersection
+from repro.core.ordering import GlobalOrder, compute_global_ordering
+from repro.core.partitioning import Segment, SegmentInfo, VerticalPartitioner
+from repro.core.pivots import PivotMethod, select_pivots
+from repro.data.records import Record, RecordCollection
+from repro.errors import DataError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import (
+    length_lower_bound,
+    prefix_length,
+    required_overlap,
+)
+from repro.similarity.verify import verify_overlap
+
+#: Counter group for probe-side work (mirrors ``fsjoin.filter`` naming).
+PROBE_GROUP = "service.probe"
+
+#: A posting entry: (record id, token's position within that segment).
+Posting = Tuple[int, int]
+
+#: A candidate's first prefix collision: (fragment, query pos, segment pos).
+FirstHit = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: an indexed record and its exact similarity."""
+
+    rid: int
+    score: float
+
+
+@dataclass(frozen=True)
+class EncodedQuery:
+    """A probe after rank encoding.
+
+    ``ranks`` are the query tokens known to the index's global ordering
+    (strictly increasing); ``n_unknown`` counts tokens outside it.  Unknown
+    tokens can match nothing, but they still enlarge the query set, so they
+    take part in every size-dependent bound.
+    """
+
+    ranks: Tuple[int, ...]
+    n_unknown: int
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks) + self.n_unknown
+
+
+class SegmentIndex:
+    """Vertical-partitioned inverted index over a record collection.
+
+    Build once with :meth:`build`, extend with :meth:`apply_batch`, persist
+    with :mod:`repro.service.snapshot`.  Probing is read-only and safe to
+    share across threads.
+    """
+
+    def __init__(
+        self,
+        order: GlobalOrder,
+        partitioner: VerticalPartitioner,
+        pivot_method: PivotMethod = PivotMethod.EVEN_TF,
+    ) -> None:
+        self.order = order
+        self.partitioner = partitioner
+        self.pivot_method = PivotMethod(pivot_method)
+        #: rid → full rank tuple (strictly increasing).
+        self._ranks: Dict[int, Tuple[int, ...]] = {}
+        #: rid → {fragment id → segment} (``segInfo`` + tokens).
+        self._segments: Dict[int, Dict[int, Segment]] = {}
+        #: fragment id → token rank → postings.
+        self._postings: List[Dict[int, List[Posting]]] = [
+            {} for _ in range(partitioner.n_partitions)
+        ]
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        records: RecordCollection,
+        n_vertical: int = 30,
+        pivot_method: PivotMethod = PivotMethod.EVEN_TF,
+        pivot_seed: int = 0,
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> "SegmentIndex":
+        """Index a collection, reusing the ordering job and pivot selection."""
+        cluster = cluster or SimulatedCluster()
+        order, _ = compute_global_ordering(cluster, records)
+        cuts = select_pivots(
+            order.rank_frequencies, n_vertical, method=pivot_method, seed=pivot_seed
+        )
+        index = cls(order, VerticalPartitioner(cuts), pivot_method)
+        for record in records:
+            index._insert(record)
+        return index
+
+    def _insert(self, record: Record) -> None:
+        if record.rid in self._ranks:
+            raise DataError(f"record id {record.rid} already indexed")
+        ranks = self.order.encode(record)
+        self._ranks[record.rid] = ranks
+        segments: Dict[int, Segment] = {}
+        for v, segment in self.partitioner.split(record.rid, ranks):
+            segments[v] = segment
+            postings = self._postings[v]
+            for pos, token in enumerate(segment.tokens):
+                postings.setdefault(token, []).append((record.rid, pos))
+        self._segments[record.rid] = segments
+
+    def apply_batch(self, new_records: Iterable[Record]) -> int:
+        """Extend the index with new records (the incremental-join hook).
+
+        Mirrors :class:`repro.core.incremental.IncrementalSelfJoin`:
+        duplicate record ids raise :class:`DataError` *before* anything is
+        inserted, so a rejected batch leaves the index untouched.  Tokens
+        outside the global ordering are appended after the existing ranks
+        (ordered among themselves by batch frequency) via
+        :meth:`GlobalOrder.extend`: existing ranks — and therefore the
+        existing postings and pivot cuts — stay valid, at the price of the
+        new tokens all landing in the last fragment.  Probe exactness only
+        needs *a* fixed total order, not a frequency-fresh one, so results
+        remain exact; rebuild periodically if fragment balance drifts.
+        """
+        batch = list(new_records)
+        seen: set = set()
+        for record in batch:
+            if record.rid in self._ranks or record.rid in seen:
+                raise DataError(f"record id {record.rid} already indexed")
+            seen.add(record.rid)
+        fresh = TokenCounter(
+            token
+            for record in batch
+            for token in record.tokens
+            if not self.order.knows(token)
+        )
+        self.order.extend(fresh.items())
+        for record in batch:
+            self._insert(record)
+        return len(batch)
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._ranks
+
+    @property
+    def n_fragments(self) -> int:
+        return self.partitioner.n_partitions
+
+    def rids(self) -> List[int]:
+        """Indexed record ids, ascending."""
+        return sorted(self._ranks)
+
+    def tokens_of(self, rid: int) -> Tuple[str, ...]:
+        """The indexed record's tokens (decoded, global-order sorted)."""
+        try:
+            ranks = self._ranks[rid]
+        except KeyError:
+            raise DataError(f"no record with id {rid} in the index") from None
+        return self.order.decode(ranks)
+
+    def posting_stats(self) -> Dict[str, int]:
+        """Aggregate index-shape numbers (for logs and benches)."""
+        return {
+            "records": len(self._ranks),
+            "fragments": self.n_fragments,
+            "vocab": self.order.vocab_size,
+            "postings": sum(
+                len(plist) for frag in self._postings for plist in frag.values()
+            ),
+        }
+
+    # -- probing -------------------------------------------------------
+    def encode_query(self, tokens: Iterable[str]) -> EncodedQuery:
+        """Canonicalize probe tokens: dedupe, rank-encode, count unknowns."""
+        unique = set(tokens)
+        ranks: List[int] = []
+        unknown = 0
+        for token in unique:
+            if self.order.knows(token):
+                ranks.append(self.order.rank(token))
+            else:
+                unknown += 1
+        ranks.sort()
+        return EncodedQuery(tuple(ranks), unknown)
+
+    def probe(
+        self,
+        tokens: Iterable[str],
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        filters: Optional[FilterConfig] = None,
+        counters: Optional[Counters] = None,
+    ) -> List[SearchHit]:
+        """Exact similarity search: all indexed records with ``sim ≥ θ``.
+
+        Results are sorted best first (ties by record id).  The query
+        record itself — when indexed — appears like any other partner;
+        callers that probe by an indexed record exclude its own id.
+        """
+        query = self.encode_query(tokens)
+        return self.probe_encoded(query, theta, func, filters, counters)
+
+    def probe_encoded(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        filters: Optional[FilterConfig] = None,
+        counters: Optional[Counters] = None,
+    ) -> List[SearchHit]:
+        """Probe with an already-encoded query (the cacheable inner path)."""
+        func = SimilarityFunction(func)
+        filters = filters if filters is not None else FilterConfig()
+        candidates = self._candidates(query, theta, func, counters)
+        return self._evaluate(query, candidates, theta, func, filters, counters)
+
+    def probe_batch(
+        self,
+        queries: Sequence[EncodedQuery],
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        filters: Optional[FilterConfig] = None,
+        counters: Optional[Counters] = None,
+    ) -> List[List[SearchHit]]:
+        """Probe many queries with fragment-grouped posting scans.
+
+        Per fragment, the distinct probe tokens of *all* queries are looked
+        up once and fanned out to every query that carries the token, so
+        shared tokens cost one posting scan instead of one per query (the
+        ``posting_lookups`` counter makes the saving measurable).
+        Filtering/verification then runs per query, identical to
+        :meth:`probe_encoded`.
+        """
+        func = SimilarityFunction(func)
+        filters = filters if filters is not None else FilterConfig()
+        # Fragment → token → (query index, token position in query) probes.
+        grouped: List[Dict[int, List[Tuple[int, int]]]] = [
+            {} for _ in range(self.n_fragments)
+        ]
+        for qi, query in enumerate(queries):
+            for v, token, qpos in self._probe_tokens(query, theta, func):
+                grouped[v].setdefault(token, []).append((qi, qpos))
+        candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
+        for v, token_map in enumerate(grouped):
+            postings = self._postings[v]
+            for token, probes in token_map.items():
+                _bump(counters, "posting_lookups")
+                for rid, pos in postings.get(token, ()):
+                    for qi, qpos in probes:
+                        candidate_sets[qi].setdefault(rid, (v, qpos, pos))
+        return [
+            self._evaluate(query, candidate_sets[qi], theta, func, filters, counters)
+            for qi, query in enumerate(queries)
+        ]
+
+    def self_join(
+        self,
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        filters: Optional[FilterConfig] = None,
+        counters: Optional[Counters] = None,
+    ) -> Dict[Tuple[int, int], float]:
+        """All indexed pairs with ``sim ≥ θ`` — the probe-side self-join.
+
+        Returns the same ``(rid_small, rid_large) → score`` map as
+        ``FSJoin.run(corpus).result_pairs`` over the indexed corpus; this
+        is what lets :func:`repro.core.topk.topk_similar_pairs` relax the
+        threshold without re-running the offline pipeline.
+        """
+        queries = [EncodedQuery(self._ranks[rid], 0) for rid in self.rids()]
+        results = self.probe_batch(queries, theta, func, filters, counters)
+        pairs: Dict[Tuple[int, int], float] = {}
+        for rid, hits in zip(self.rids(), results):
+            for hit in hits:
+                if hit.rid == rid:
+                    continue
+                key = (rid, hit.rid) if rid < hit.rid else (hit.rid, rid)
+                pairs[key] = hit.score
+        return pairs
+
+    # -- internals -----------------------------------------------------
+    def _probe_tokens(
+        self, query: EncodedQuery, theta: float, func: SimilarityFunction
+    ):
+        """Yield ``(fragment, token)`` for the query's prefix tokens.
+
+        The record-level prefix filter: if ``sim(q, t) ≥ θ`` then
+        ``|q ∩ t| ≥ τ_min(|q|)``, and at most ``τ_min − 1`` of those common
+        tokens can sit beyond the first ``|q| − τ_min + 1`` positions — so
+        probing the prefix against the *full-token* postings cannot miss a
+        result.  Unknown tokens are modelled as ranks beyond the vocabulary
+        (they sort last), so the probed prefix is the first
+        ``min(P, known)`` known ranks.
+        """
+        if not query.ranks:
+            return
+        limit = min(prefix_length(func, theta, query.size), len(query.ranks))
+        prefix = query.ranks[:limit]
+        for v, segment in self.partitioner.split(-1, prefix):
+            # ``ahead`` of a prefix segment equals the token's global
+            # position in the full query (a prefix is itself a prefix of
+            # every segment it touches).
+            for offset, token in enumerate(segment.tokens):
+                yield v, token, segment.info.ahead + offset
+
+    def _candidates(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> Dict[int, "FirstHit"]:
+        """Candidates colliding with the probe prefix, with their first hit.
+
+        The first collision's coordinates — fragment, position in the
+        query, position in the indexed segment — feed the positional
+        filter in :meth:`_evaluate`.
+        """
+        candidates: Dict[int, FirstHit] = {}
+        for v, token, qpos in self._probe_tokens(query, theta, func):
+            _bump(counters, "posting_lookups")
+            for rid, pos in self._postings[v].get(token, ()):
+                candidates.setdefault(rid, (v, qpos, pos))
+        return candidates
+
+    def _query_segments(self, query: EncodedQuery) -> List[Tuple[int, Segment]]:
+        """Split the query like an indexed record, sizes counting unknowns.
+
+        Unknown tokens are placed after every known rank, which makes them
+        trailing members of the query's token sequence: every segment's
+        ``str_len`` grows by ``n_unknown`` and every segment gains that
+        many ``behind`` tokens, except that a segment in the *last*
+        fragment would absorb them into itself — where the per-segment
+        token list would no longer match the segment length the lemmas
+        see.  The caller therefore disables the segment lemmas for
+        unknown-token probes (see :meth:`_evaluate`); StrL only needs the
+        corrected ``str_len``.
+        """
+        split = self.partitioner.split(-1, query.ranks)
+        if not query.n_unknown:
+            return split
+        adjusted = []
+        for v, segment in split:
+            info = segment.info
+            adjusted.append(
+                (
+                    v,
+                    Segment(
+                        SegmentInfo(
+                            rid=info.rid,
+                            str_len=info.str_len + query.n_unknown,
+                            ahead=info.ahead,
+                            behind=info.behind + query.n_unknown,
+                        ),
+                        segment.tokens,
+                    ),
+                )
+            )
+        return adjusted
+
+    def _evaluate(
+        self,
+        query: EncodedQuery,
+        candidates: Dict[int, "FirstHit"],
+        theta: float,
+        func: SimilarityFunction,
+        filter_config: FilterConfig,
+        counters: Optional[Counters],
+    ) -> List[SearchHit]:
+        """Filter candidates fragment-wise, then verify survivors exactly."""
+        _bump(counters, "probes")
+        if not candidates:
+            return []
+        if query.n_unknown:
+            # The segment lemmas assume the segment token lists they see
+            # are complete; unknown probe tokens break that for the last
+            # fragment (see _query_segments), so fall back to StrL + the
+            # early-terminating verify — still exact, just less pruning.
+            filter_config = FilterConfig(
+                strl=filter_config.strl, segl=False, segi=False, segd=False,
+                early_verify=filter_config.early_verify,
+            )
+        filters = FragmentFilters(theta, func, filter_config)
+        query_segments = self._query_segments(query)
+        qseg_by_fragment = dict(query_segments)
+        positional = filter_config.segi or filter_config.segd
+        size_q = query.size
+        min_partner = length_lower_bound(func, theta, size_q) if filter_config.strl else 0
+        hits: List[SearchHit] = []
+        for rid, first_hit in candidates.items():
+            _bump(counters, "candidates")
+            t_ranks = self._ranks[rid]
+            size_t = len(t_ranks)
+            # Record-level StrL (Lemma 1) before any segment work.
+            if filter_config.strl:
+                small, large = (size_q, size_t) if size_q <= size_t else (size_t, size_q)
+                lower = min_partner if large == size_t else length_lower_bound(
+                    func, theta, large
+                )
+                if small < lower:
+                    _bump(counters, "pruned_strl")
+                    continue
+            if positional and self._positional_prune(
+                first_hit, qseg_by_fragment, self._segments[rid], filters
+            ):
+                _bump(counters, "pruned_positional")
+                continue
+            if not self._survives_fragments(
+                query_segments, self._segments[rid], filters, counters
+            ):
+                continue
+            hit = self._verify(query, t_ranks, size_t, theta, func,
+                               filter_config.early_verify, counters)
+            if hit is not None:
+                hits.append(SearchHit(rid, hit))
+                _bump(counters, "results")
+        hits.sort(key=lambda hit: (-hit.score, hit.rid))
+        return hits
+
+    @staticmethod
+    def _positional_prune(
+        first_hit: "FirstHit",
+        qseg_by_fragment: Dict[int, Segment],
+        t_segments: Dict[int, Segment],
+        filters: FragmentFilters,
+    ) -> bool:
+        """PPJoin's positional filter, per fragment (postings carry positions).
+
+        At the first collision — query-segment position ``i``, indexed
+        segment position ``j`` — the fragment intersection is at most
+        ``min(i, j) + 1 + min(remaining_q, remaining_t)`` (both segments
+        are sorted by rank, so matches before/after the collision token
+        are bounded by the shorter flank).  When even that upper bound is
+        below the smallest intersection surviving SegI/SegD, the pair is
+        provably dissimilar and no merge needs to run.
+        """
+        v, qpos, tpos = first_hit
+        qseg = qseg_by_fragment[v]
+        tseg = t_segments[v]
+        i = qpos - qseg.info.ahead
+        upper = (
+            min(i, tpos)
+            + 1
+            + min(len(qseg) - i - 1, len(tseg) - tpos - 1)
+        )
+        return upper < filters.min_required_common(qseg, tseg)
+
+    def _survives_fragments(
+        self,
+        query_segments: List[Tuple[int, Segment]],
+        t_segments: Dict[int, Segment],
+        filters: FragmentFilters,
+        counters: Optional[Counters],
+    ) -> bool:
+        """Apply the SegL/SegI/SegD lemmas in every shared fragment.
+
+        Each lemma is safe per fragment (its proof needs only one
+        fragment's view), so a single pruning fragment is enough to
+        discard the pair — exactly the suppression a reduce task performs
+        in the offline filter job.
+        """
+        for v, qseg in query_segments:
+            tseg = t_segments.get(v)
+            if tseg is None:
+                continue
+            pruned = filters.pre_intersection(qseg, tseg)
+            if pruned:
+                _bump(counters, f"pruned_{pruned}")
+                return False
+            if not (filters.config.segi or filters.config.segd):
+                continue
+            required = (
+                filters.min_required_common(qseg, tseg)
+                if filters.early_termination
+                else 1
+            )
+            common, comparisons, completed = bounded_merge_intersection(
+                qseg.tokens, tseg.tokens, required
+            )
+            _bump(counters, "filter_token_comparisons", comparisons)
+            if not completed:
+                # The merge was abandoned because even a full remaining
+                # suffix match could not satisfy SegI/SegD — the pair is
+                # provably below threshold.
+                _bump(counters, "pruned_overlap_bound")
+                return False
+            pruned = filters.post_intersection(qseg, tseg, common)
+            if pruned:
+                _bump(counters, f"pruned_{pruned}")
+                return False
+        return True
+
+    def _verify(
+        self,
+        query: EncodedQuery,
+        t_ranks: Tuple[int, ...],
+        size_t: int,
+        theta: float,
+        func: SimilarityFunction,
+        early_termination: bool,
+        counters: Optional[Counters],
+    ) -> Optional[float]:
+        """Exact verification — ``verify_pair``'s early-terminating merge.
+
+        Unknown query tokens intersect nothing, so the merge runs over the
+        known ranks while the threshold rule sees the full query size;
+        with no unknowns this is exactly
+        ``verify_pair(q, t, θ, func, sorted_input=True)``.
+        """
+        size_q = query.size
+        required = (
+            required_overlap(func, theta, size_q, size_t)
+            if early_termination
+            else 1
+        )
+        common, comparisons, _completed = bounded_merge_intersection(
+            query.ranks, t_ranks, required
+        )
+        _bump(counters, "verified_pairs")
+        _bump(counters, "verify_token_comparisons", comparisons)
+        return verify_overlap(func, theta, common, size_q, size_t)
+
+
+def _bump(counters: Optional[Counters], name: str, amount: int = 1) -> None:
+    if counters is not None and amount:
+        counters.increment(PROBE_GROUP, name, amount)

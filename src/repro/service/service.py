@@ -1,0 +1,262 @@
+"""The online similarity service: cached, batched probes over a SegmentIndex.
+
+:class:`SimilarityService` is the serving-layer entry point:
+
+* ``search(tokens, theta, k=None)`` — one exact probe, LRU-cached by
+  ``(canonical token tuple, θ, func)``;
+* ``search_batch(queries, theta, ...)`` — deduplicates the batch, serves
+  repeats from one computation, and probes the distinct misses with
+  fragment-grouped posting scans (optionally fanned out over the
+  executor backends of :mod:`repro.mapreduce.executors`);
+* ``apply_batch(new_records)`` — extends the index in place (and
+  invalidates the cache), the online twin of
+  :class:`~repro.core.incremental.IncrementalSelfJoin`;
+* ``save``/``load`` — versioned snapshot round-trip via
+  :mod:`repro.service.snapshot`.
+
+All work is accounted in ``service.metrics`` (a
+:class:`~repro.mapreduce.counters.Counters`): ``service.cache`` tracks
+hits/misses/evictions/invalidations, ``service.probe`` tracks posting
+lookups, candidates, per-lemma prunes and token comparisons — the
+quantities ``benchmarks/bench_ext_query_service.py`` asserts on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import FilterConfig
+from repro.data.records import Record, RecordCollection
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.executors import ExecutorKind, TaskExecutor, create_executor
+from repro.service.cache import LRUCache
+from repro.service.index import EncodedQuery, SearchHit, SegmentIndex
+from repro.service.snapshot import load_index, save_index
+from repro.similarity.functions import SimilarityFunction
+
+CACHE_GROUP = "service.cache"
+
+#: Cache key: (canonical token tuple, θ, func value).
+CacheKey = Tuple[Tuple[str, ...], float, str]
+
+
+class SimilarityService:
+    """Serve exact similarity-search queries over an indexed corpus."""
+
+    def __init__(
+        self,
+        index: SegmentIndex,
+        filters: Optional[FilterConfig] = None,
+        cache_size: int = 1024,
+        executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+    ) -> None:
+        """``executor`` sets the default backend for :meth:`search_batch`
+        (``None`` = in-process, fragment-grouped only); ``cache_size=0``
+        disables the result cache."""
+        self.index = index
+        self.filters = filters if filters is not None else FilterConfig()
+        self.metrics = Counters()
+        self._cache: LRUCache[List[SearchHit]] = LRUCache(cache_size)
+        self._executor = executor
+
+    # -- single probe --------------------------------------------------
+    def search(
+        self,
+        tokens: Iterable[str],
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        exclude: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """All indexed records with ``sim(query, record) ≥ θ``, best first.
+
+        ``k`` truncates the (fully computed and cached) result list;
+        ``exclude`` drops one record id — pass the query's own id when
+        probing by an indexed record.
+        """
+        func = SimilarityFunction(func)
+        key = self._cache_key(tokens, theta, func)
+        hits = self._cache.get(key)
+        if hits is None:
+            self.metrics.increment(CACHE_GROUP, "misses")
+            hits = self.index.probe(
+                key[0], theta, func, self.filters, self.metrics
+            )
+            self._put(key, hits)
+        else:
+            self.metrics.increment(CACHE_GROUP, "hits")
+        return _finish(hits, k, exclude)
+
+    def search_rid(
+        self,
+        rid: int,
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+    ) -> List[SearchHit]:
+        """Partners of an already-indexed record (itself excluded)."""
+        return self.search(
+            self.index.tokens_of(rid), theta, k=k, func=func, exclude=rid
+        )
+
+    # -- batched probes ------------------------------------------------
+    def search_batch(
+        self,
+        queries: Sequence[Iterable[str]],
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+    ) -> List[List[SearchHit]]:
+        """Probe many queries at once; results align with ``queries``.
+
+        The batch is canonicalized and deduplicated first (repeated
+        queries — the common case under real traffic — are computed once),
+        then cache-checked, and only the distinct misses hit the index,
+        with posting scans grouped per fragment.  ``executor`` (or the
+        service default) fans the misses out over a
+        :mod:`repro.mapreduce.executors` backend; results are identical on
+        every backend.
+        """
+        func = SimilarityFunction(func)
+        self.metrics.increment("service.batch", "batches")
+        self.metrics.increment("service.batch", "queries", len(queries))
+        keys = [self._cache_key(tokens, theta, func) for tokens in queries]
+        resolved: Dict[CacheKey, List[SearchHit]] = {}
+        misses: List[CacheKey] = []
+        for key in keys:
+            if key in resolved:
+                continue
+            hits = self._cache.get(key)
+            if hits is None:
+                self.metrics.increment(CACHE_GROUP, "misses")
+                misses.append(key)
+                resolved[key] = []  # placeholder; filled below
+            else:
+                self.metrics.increment(CACHE_GROUP, "hits")
+                resolved[key] = hits
+        self.metrics.increment("service.batch", "unique_misses", len(misses))
+        if misses:
+            for key, hits in zip(misses, self._probe_misses(misses, theta, func,
+                                                            executor)):
+                resolved[key] = hits
+                self._put(key, hits)
+        return [_finish(resolved[key], k, None) for key in keys]
+
+    def _probe_misses(
+        self,
+        misses: List[CacheKey],
+        theta: float,
+        func: SimilarityFunction,
+        executor: Union[ExecutorKind, str, TaskExecutor, None],
+    ) -> List[List[SearchHit]]:
+        encoded = [self.index.encode_query(key[0]) for key in misses]
+        backend = executor if executor is not None else self._executor
+        if backend is None or len(misses) <= 1:
+            return self.index.probe_batch(
+                encoded, theta, func, self.filters, self.metrics
+            )
+        executor_obj = create_executor(backend)
+        chunks = _chunk(encoded, getattr(executor_obj, "max_workers", 1))
+        outputs = executor_obj.run_tasks(
+            _probe_chunk_task,
+            [(self.index, chunk, theta, func, self.filters) for chunk in chunks],
+        )
+        results: List[List[SearchHit]] = []
+        for chunk_hits, counters in outputs:
+            results.extend(chunk_hits)
+            self.metrics.merge(counters)
+        return results
+
+    # -- maintenance ---------------------------------------------------
+    def apply_batch(
+        self, new_records: Union[RecordCollection, Iterable[Record]]
+    ) -> int:
+        """Extend the index with new records; invalidates the result cache.
+
+        Raises :class:`~repro.errors.DataError` on duplicate record ids
+        (before any mutation), exactly like
+        ``IncrementalSelfJoin.add_batch``.
+        """
+        added = self.index.apply_batch(new_records)
+        if len(self._cache):
+            self.metrics.increment(CACHE_GROUP, "invalidations", len(self._cache))
+        self._cache.clear()
+        return added
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> int:
+        """Snapshot the underlying index (cache and metrics are ephemeral)."""
+        return save_index(self.index, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        filters: Optional[FilterConfig] = None,
+        cache_size: int = 1024,
+        executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+    ) -> "SimilarityService":
+        """Build a service over a snapshot written by :meth:`save`."""
+        return cls(load_index(path), filters=filters, cache_size=cache_size,
+                   executor=executor)
+
+    # -- introspection -------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size/capacity snapshot of the result cache."""
+        cache_counters = self.metrics.group(CACHE_GROUP)
+        return {
+            "hits": cache_counters.get("hits", 0),
+            "misses": cache_counters.get("misses", 0),
+            "evictions": self._cache.evictions,
+            "size": len(self._cache),
+            "capacity": self._cache.capacity,
+        }
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _cache_key(
+        tokens: Iterable[str], theta: float, func: SimilarityFunction
+    ) -> CacheKey:
+        return (tuple(sorted(set(tokens))), float(theta), func.value)
+
+    def _put(self, key: CacheKey, hits: List[SearchHit]) -> None:
+        before = self._cache.evictions
+        self._cache.put(key, hits)
+        evicted = self._cache.evictions - before
+        if evicted:
+            self.metrics.increment(CACHE_GROUP, "evictions", evicted)
+
+
+def _finish(
+    hits: List[SearchHit], k: Optional[int], exclude: Optional[int]
+) -> List[SearchHit]:
+    """Apply the per-call ``exclude``/``k`` view over a cached result."""
+    if exclude is not None:
+        hits = [hit for hit in hits if hit.rid != exclude]
+    else:
+        hits = list(hits)
+    if k is not None:
+        hits = hits[: max(k, 0)]
+    return hits
+
+
+def _chunk(items: Sequence, workers: int) -> List[List]:
+    """Split items into at most ``workers`` contiguous chunks."""
+    n_chunks = max(1, min(workers, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks, start = [], 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+def _probe_chunk_task(payload) -> Tuple[List[List[SearchHit]], Counters]:
+    """Module-level task body so the process backend can pickle it."""
+    index, chunk, theta, func, filters = payload
+    counters = Counters()
+    hits = index.probe_batch(chunk, theta, func, filters, counters)
+    return hits, counters

@@ -1,0 +1,71 @@
+"""Index persistence: versioned snapshots with write-then-swap discipline.
+
+A snapshot is a pickle of ``{"format", "version", "stats", "index"}``.
+The header is checked *before* the index is handed to the caller, so a
+foreign or stale file fails with a clear :class:`~repro.errors.SnapshotError`
+instead of an attribute error deep inside a probe.
+
+Writes go to a temporary sibling file first and are atomically swapped
+into place with :func:`os.replace` — the same write-then-swap convention
+:meth:`repro.mapreduce.hdfs.InMemoryDFS.write` follows for overwrites — so
+a crash mid-save can never leave a truncated snapshot under the target
+name.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.errors import SnapshotError
+from repro.service.index import SegmentIndex
+
+SNAPSHOT_FORMAT = "repro-segment-index"
+SNAPSHOT_VERSION = 1
+
+
+def save_index(index: SegmentIndex, path: Union[str, Path]) -> int:
+    """Persist ``index`` at ``path`` atomically; returns the byte size."""
+    path = Path(path)
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "stats": index.posting_stats(),
+        "index": index,
+    }
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+    return len(data)
+
+
+def load_index(path: Union[str, Path]) -> SegmentIndex:
+    """Load a snapshot, validating its format header and version."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {path}") from None
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+            IndexError) as exc:
+        raise SnapshotError(f"{path} is not a readable index snapshot: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} is not a {SNAPSHOT_FORMAT!r} snapshot"
+        )
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version mismatch at {path}: file has {version!r}, "
+            f"this build reads {SNAPSHOT_VERSION} — rebuild the index with "
+            "'repro index'"
+        )
+    index = payload.get("index")
+    if not isinstance(index, SegmentIndex):
+        raise SnapshotError(f"snapshot at {path} carries no index payload")
+    return index

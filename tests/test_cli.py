@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -121,6 +123,69 @@ class TestLSHAlgorithm:
               "--quiet"])
         approx = set(capsys.readouterr().out.splitlines())
         assert approx <= exact
+
+
+class TestIndexSearch:
+    @pytest.fixture
+    def index_file(self, corpus_file, tmp_path, capsys):
+        path = tmp_path / "corpus.idx"
+        assert main(["index", corpus_file, "--output", str(path),
+                     "--vertical", "6"]) == 0
+        assert "indexed 80 records" in capsys.readouterr().err
+        return str(path)
+
+    def test_search_query_json(self, index_file, corpus_file, capsys):
+        tokens = load_records(corpus_file)[0].tokens
+        code = main(["search", index_file, "--query", " ".join(tokens),
+                     "--theta", "0.5"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["theta"] == 0.5 and doc["func"] == "jaccard"
+        assert doc["hits"], "an indexed record must at least hit itself"
+        assert doc["hits"][0] == {"rid": 0, "score": 1.0}
+
+    def test_search_rid_excludes_self(self, index_file, capsys):
+        code = main(["search", index_file, "--rid", "0", "--theta", "0.3",
+                     "-k", "3"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["hits"]) <= 3
+        assert all(hit["rid"] != 0 for hit in doc["hits"])
+
+    def test_search_matches_join_output(self, index_file, corpus_file, capsys):
+        """CLI search of a record agrees with CLI join at the same θ."""
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet"])
+        joined = capsys.readouterr().out.splitlines()
+        partners = {
+            int(b) if int(a) == 5 else int(a)
+            for a, b, _ in (line.split("\t") for line in joined)
+            if int(a) == 5 or int(b) == 5
+        }
+        main(["search", index_file, "--rid", "5", "--theta", "0.8"])
+        doc = json.loads(capsys.readouterr().out)
+        assert {hit["rid"] for hit in doc["hits"]} == partners
+
+    def test_search_batch_file(self, index_file, corpus_file, capsys):
+        code = main(["search", index_file, "--query-file", corpus_file,
+                     "--theta", "0.6", "--executor", "thread"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["results"]) == 80
+        assert all(entry["hits"] for entry in doc["results"])
+
+    def test_search_bad_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"garbage")
+        code = main(["search", str(bad), "--query", "a b", "--theta", "0.5"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_missing_snapshot(self, tmp_path, capsys):
+        code = main(["search", str(tmp_path / "absent.idx"),
+                     "--query", "a", "--theta", "0.5"])
+        assert code == 1
+        assert "no snapshot" in capsys.readouterr().err
 
 
 class TestErrors:

@@ -90,3 +90,83 @@ class TestDeltaCorrectness:
         for batch in _split_batches(full, [10, 10, 10]):
             join.add_batch(batch)
         assert set(join.results) == oracle
+
+
+class TestEdgeCases:
+    def test_empty_batch_into_empty_join(self, cluster):
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        assert join.add_batch(RecordCollection()) == {}
+        assert join.results == {}
+        assert len(join.records) == 0
+
+    def test_duplicate_rid_across_batches_raises_without_corruption(self, cluster):
+        """A clashing batch must raise *before* any state is mutated."""
+        full = random_collection(30, seed=95)
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7, n_vertical=3), cluster)
+        first, second = _split_batches(full, [20, 10])
+        join.initialize(first)
+        results_before = join.results
+        records_before = list(join.records)
+
+        # One clashing rid anywhere in the batch poisons the whole batch.
+        clashing = RecordCollection(
+            [Record.make(500, ["t001", "t002"]), list(first)[0]]
+        )
+        with pytest.raises(DataError):
+            join.add_batch(clashing)
+
+        # Maintained state is untouched: the half-new batch left no trace.
+        assert join.results == results_before
+        assert list(join.records) == records_before
+        assert 500 not in join.records
+
+        # The join still works and still converges to the full-join oracle.
+        join.add_batch(second)
+        assert set(join.results) == set(naive_self_join(full, 0.7))
+
+    def test_duplicate_rid_within_one_batch_raises(self, cluster):
+        """A raw iterable with internal rid clashes is rejected up front
+        (a RecordCollection would refuse to even hold it)."""
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7), cluster)
+        join.initialize(random_collection(5, seed=4))
+        results_before = join.results
+        twins = [Record.make(100, ["a", "b"]), Record.make(100, ["a", "c"])]
+        with pytest.raises(DataError):
+            join.add_batch(twins)
+        assert join.results == results_before
+        assert 100 not in join.records
+
+    def test_interleaved_rs_joins_do_not_disturb_maintenance(self, cluster):
+        """R-S joins against the live collection are read-only observers."""
+        from repro.core.rsjoin import FSJoinRS
+
+        full = random_collection(40, seed=96)
+        probe_side = random_collection(15, seed=97)
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.7, n_vertical=3), cluster)
+        batches = _split_batches(full, [15, 15, 10])
+        join.initialize(batches[0])
+        rs_config = FSJoinConfig(theta=0.7, n_vertical=3)
+        for batch in batches[1:]:
+            # Interleave: cross-join the probe side against the current
+            # accumulated collection between every pair of batches.
+            FSJoinRS(rs_config, cluster).run(probe_side, join.records)
+            join.add_batch(batch)
+        FSJoinRS(rs_config, cluster).run(probe_side, join.records)
+        assert set(join.results) == set(naive_self_join(full, 0.7))
+
+    def test_interleaved_rs_join_sees_accumulated_state(self, cluster):
+        """The R-S view over `records` tracks the batches applied so far."""
+        from repro.core.rsjoin import FSJoinRS
+
+        base = RecordCollection.from_token_lists([["a", "b", "c", "d"]])
+        batch = RecordCollection([Record.make(10, ["a", "b", "c", "e"])])
+        probe = RecordCollection([Record.make(0, ["a", "b", "c", "d"])])
+        join = IncrementalSelfJoin(FSJoinConfig(theta=0.6), cluster)
+        join.initialize(base)
+        rs_config = FSJoinConfig(theta=0.6)
+
+        before = FSJoinRS(rs_config, cluster).run(probe, join.records)
+        assert set(before.result_pairs) == {(0, 0)}
+        join.add_batch(batch)
+        after = FSJoinRS(rs_config, cluster).run(probe, join.records)
+        assert set(after.result_pairs) == {(0, 0), (0, 10)}

@@ -63,3 +63,74 @@ class TestInMemoryDFS:
         dfs.write("b", [])
         dfs.write("a", [])
         assert dfs.list_paths() == ["a", "b"]
+
+
+class TestRename:
+    def test_moves_data_and_size(self):
+        dfs = InMemoryDFS()
+        size = dfs.write("tmp/part-0", [("k", "v" * 10)])
+        dfs.rename("tmp/part-0", "out/part-0")
+        assert not dfs.exists("tmp/part-0")
+        assert dfs.read("out/part-0") == [("k", "v" * 10)]
+        assert dfs.size_bytes("out/part-0") == size
+        assert dfs.total_bytes() == size
+
+    def test_missing_source_raises(self):
+        with pytest.raises(DFSError, match="no such path"):
+            InMemoryDFS().rename("ghost", "dst")
+
+    def test_existing_destination_raises(self):
+        dfs = InMemoryDFS()
+        dfs.write("src", [("a", 1)])
+        dfs.write("dst", [("b", 2)])
+        with pytest.raises(DFSError, match="destination already exists"):
+            dfs.rename("src", "dst")
+        # No-clobber failure leaves both files untouched.
+        assert dfs.read("src") == [("a", 1)]
+        assert dfs.read("dst") == [("b", 2)]
+
+    def test_rename_onto_itself_raises(self):
+        dfs = InMemoryDFS()
+        dfs.write("p", [("a", 1)])
+        with pytest.raises(DFSError):
+            dfs.rename("p", "p")
+        assert dfs.read("p") == [("a", 1)]
+
+    def test_write_then_swap_pattern(self):
+        """The convention the service snapshot mirrors on real disk."""
+        dfs = InMemoryDFS()
+        dfs.write("snap", [("v", 1)])
+        dfs.write("snap.tmp", [("v", 2)])
+        dfs.delete("snap")
+        dfs.rename("snap.tmp", "snap")
+        assert dfs.read("snap") == [("v", 2)]
+        assert dfs.list_paths() == ["snap"]
+
+
+class TestAtomicOverwrite:
+    def test_failed_overwrite_preserves_old_content(self):
+        """write(overwrite=True) stages fully before the commit point."""
+        dfs = InMemoryDFS()
+        dfs.write("p", [("old", 1)])
+
+        def exploding_pairs():
+            yield ("new", 2)
+            raise RuntimeError("producer died mid-stream")
+
+        with pytest.raises(RuntimeError):
+            dfs.write("p", exploding_pairs(), overwrite=True)
+        assert dfs.read("p") == [("old", 1)]
+        assert dfs.size_bytes("p") > 0
+
+    def test_failed_fresh_write_leaves_no_partial_file(self):
+        dfs = InMemoryDFS()
+
+        def exploding_pairs():
+            yield ("new", 2)
+            raise RuntimeError("producer died mid-stream")
+
+        with pytest.raises(RuntimeError):
+            dfs.write("p", exploding_pairs())
+        assert not dfs.exists("p")
+        with pytest.raises(DFSError):
+            dfs.size_bytes("p")
