@@ -11,7 +11,11 @@ from repro.analysis.loadbalance import LoadBalanceReport, load_balance_report
 from repro.analysis.duplication import DuplicationReport, duplication_report
 from repro.analysis.explain import explain
 from repro.analysis.figures import render_series
-from repro.analysis.report import format_table
+from repro.analysis.report import (
+    format_phase_breakdown,
+    format_table,
+    phase_breakdown,
+)
 
 __all__ = [
     "LoadBalanceReport",
@@ -21,4 +25,6 @@ __all__ = [
     "explain",
     "render_series",
     "format_table",
+    "format_phase_breakdown",
+    "phase_breakdown",
 ]

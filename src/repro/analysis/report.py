@@ -1,12 +1,18 @@
-"""Plain-text table rendering for bench output.
+"""Plain-text table rendering for bench output and trace reports.
 
 Every benchmark prints the rows/series the corresponding paper table or
 figure reports; this module keeps that output aligned and consistent.
+:func:`phase_breakdown` / :func:`format_phase_breakdown` turn a recorded
+span trace into the per-phase time table that used to be assembled from
+ad-hoc ``time.perf_counter()`` calls — the Fig. 10 phase story, driven by
+the same spans the Chrome trace shows.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observability.tracer import Span
 
 
 def format_table(
@@ -42,3 +48,46 @@ def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def phase_breakdown(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Aggregate spans into per-phase rows (count, total time, share).
+
+    Phases are the span categories (``pipeline``/``job``/``map``/
+    ``reduce``/``shuffle``/``driver``/``service``).  ``share`` is each
+    phase's fraction of the summed *root*-span time — roots are the only
+    spans whose durations don't double-count their children — and retried
+    task attempts are reported separately (``map (retried)``) so
+    fault-injection runs show the re-execution cost as its own row.
+    Rows are ordered by first span start, the execution order.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    root_total = sum(s.duration for s in spans if s.parent_id is None) or None
+    for span in spans:
+        label = span.phase or "(untagged)"
+        if span.attrs.get("status") == "retried":
+            label = f"{label} (retried)"
+        row = rows.get(label)
+        if row is None:
+            row = rows[label] = {
+                "phase": label,
+                "spans": 0,
+                "total_s": 0.0,
+                "_first": span.start,
+            }
+        row["spans"] += 1
+        row["total_s"] += span.duration
+        row["_first"] = min(row["_first"], span.start)
+    ordered = sorted(rows.values(), key=lambda row: row.pop("_first"))
+    for row in ordered:
+        row["mean_ms"] = row["total_s"] / row["spans"] * 1e3
+        if root_total:
+            row["share"] = f"{row['total_s'] / root_total:.1%}"
+    return ordered
+
+
+def format_phase_breakdown(
+    spans: Sequence[Span], title: Optional[str] = "phase breakdown"
+) -> str:
+    """Render :func:`phase_breakdown` as an aligned table."""
+    return format_table(phase_breakdown(spans), title=title)

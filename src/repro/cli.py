@@ -9,7 +9,15 @@ Subcommands:
 * ``topk`` — print the k most similar pairs;
 * ``estimate`` — sampling-based estimate of the join's result count;
 * ``index`` — build a persistent similarity-search index (serving layer);
-* ``search`` — probe an index file and print the exact hits as JSON.
+* ``search`` — probe an index file and print the exact hits as JSON;
+* ``trace`` — summarize/convert a trace written with ``--trace``.
+
+``join`` and ``search`` accept ``--trace PATH``: the run records one span
+per pipeline phase, job, map/reduce wave and task attempt (or per probe
+stage) and writes them as JSONL to ``PATH`` plus a Chrome
+``trace_event`` JSON twin (open in ``chrome://tracing`` or
+https://ui.perfetto.dev).  Results are bit-identical with or without
+``--trace``.
 
 Examples::
 
@@ -17,10 +25,12 @@ Examples::
     python -m repro stats wiki.txt
     python -m repro join wiki.txt --theta 0.8 --algorithm fsjoin
     python -m repro join left.txt --right right.txt --theta 0.8
+    python -m repro join wiki.txt --theta 0.8 --trace run.jsonl
     python -m repro topk wiki.txt -k 10
     python -m repro index wiki.txt --output wiki.idx
     python -m repro search wiki.idx --query "w007 w012 w040" --theta 0.6
     python -m repro search wiki.idx --rid 17 --theta 0.8 -k 5
+    python -m repro trace run.jsonl --chrome run.chrome.json
 """
 
 from __future__ import annotations
@@ -38,6 +48,14 @@ from repro.data import dataset_stats, load_records, make_corpus, save_records
 from repro.errors import ReproError
 from repro.mapreduce.executors import ExecutorKind
 from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+from repro.observability import (
+    NOOP_TRACER,
+    Tracer,
+    chrome_path_for,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.similarity.functions import SimilarityFunction
 
 ALGORITHMS = (
@@ -85,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            "process (real cores)")
     join.add_argument("--quiet", action="store_true",
                       help="suppress the metrics summary on stderr")
+    join.add_argument("--trace", metavar="PATH",
+                      help="record spans for every pipeline phase, job and "
+                           "task attempt; writes JSONL to PATH plus a Chrome "
+                           "trace_event JSON twin (results are unchanged)")
 
     topk = sub.add_parser("topk", help="k most similar pairs")
     topk.add_argument("input")
@@ -125,6 +147,18 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--executor", choices=[k.value for k in ExecutorKind],
                         default="serial",
                         help="fan batched probes out over this backend")
+    search.add_argument("--trace", metavar="PATH",
+                        help="record per-probe spans (cache lookup, prefix "
+                             "filter, positional bound, verification); "
+                             "writes JSONL to PATH plus a Chrome trace twin")
+
+    trace = sub.add_parser(
+        "trace", help="summarize/convert a JSONL trace written with --trace"
+    )
+    trace.add_argument("input", help="JSONL trace file")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="also write a Chrome trace_event JSON for "
+                            "chrome://tracing / Perfetto")
 
     estimate = sub.add_parser(
         "estimate", help="sampling-based result-count estimate"
@@ -180,9 +214,30 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _export_trace(tracer: Tracer, path: str) -> None:
+    """Write a tracer's spans as JSONL plus the Chrome-trace JSON twin."""
+    spans = tracer.spans()
+    write_jsonl(spans, path)
+    chrome = chrome_path_for(path)
+    write_chrome_trace(spans, chrome)
+    print(
+        f"trace: {len(spans)} spans -> {path} (+ {chrome} for "
+        "chrome://tracing / Perfetto)",
+        file=sys.stderr,
+    )
+
+
+def _print_phase_breakdown(tracer: Tracer) -> None:
+    from repro.analysis.report import format_phase_breakdown
+
+    print(format_phase_breakdown(tracer.spans()), file=sys.stderr)
+
+
 def _cmd_join(args) -> int:
+    tracer = Tracer() if args.trace else NOOP_TRACER
     cluster = SimulatedCluster(
-        ClusterSpec(workers=args.workers, executor=args.executor)
+        ClusterSpec(workers=args.workers, executor=args.executor),
+        tracer=tracer,
     )
     left = load_records(args.input)
     started = time.perf_counter()
@@ -211,6 +266,10 @@ def _cmd_join(args) -> int:
             f"simulated {times.total_s:.1f}s on {args.workers} workers",
             file=sys.stderr,
         )
+    if args.trace:
+        _export_trace(tracer, args.trace)
+        if not args.quiet:
+            _print_phase_breakdown(tracer)
     return 0
 
 
@@ -273,7 +332,8 @@ def _cmd_search(args) -> int:
 
     from repro.service import SimilarityService
 
-    service = SimilarityService.load(args.index)
+    tracer = Tracer() if args.trace else NOOP_TRACER
+    service = SimilarityService.load(args.index, tracer=tracer)
     func = SimilarityFunction(args.func)
 
     def hit_rows(hits):
@@ -305,7 +365,26 @@ def _cmd_search(args) -> int:
             "func": func.value,
             "hits": hit_rows(hits),
         }
+    if args.trace:
+        document["latency"] = service.latency_info()
+        _export_trace(tracer, args.trace)
+        _print_phase_breakdown(tracer)
     print(json.dumps(document))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.report import format_phase_breakdown
+
+    try:
+        spans = read_jsonl(args.input)
+    except (ValueError, KeyError) as exc:
+        print(f"error: invalid trace file {args.input}: {exc}", file=sys.stderr)
+        return 1
+    if args.chrome:
+        events = write_chrome_trace(spans, args.chrome)
+        print(f"wrote {events} trace events to {args.chrome}", file=sys.stderr)
+    print(format_phase_breakdown(spans, title=f"phase breakdown: {args.input}"))
     return 0
 
 
@@ -317,6 +396,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "index": _cmd_index,
     "search": _cmd_search,
+    "trace": _cmd_trace,
 }
 
 

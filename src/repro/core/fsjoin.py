@@ -65,46 +65,72 @@ class FSJoin:
         return "FS-Join" if self.config.uses_horizontal else "FS-Join-V"
 
     def run(self, records: RecordCollection) -> PipelineResult:
-        """Execute the three-job pipeline and return results + metrics."""
+        """Execute the three-job pipeline and return results + metrics.
+
+        When the cluster carries an enabled tracer, the run is wrapped in a
+        ``pipeline:<name>`` span with one child per driver phase
+        (``order-build`` / ``filter-job`` / ``verify-job`` /
+        ``aggregation``), each job's own spans nested inside; the slice of
+        spans this run produced is returned on ``PipelineResult.trace``.
+        """
         config = self.config
         cluster = self.cluster
+        tracer = cluster.tracer
+        mark = tracer.mark()
 
-        # Job 1: global ordering (ascending term frequency).
-        order, ordering_result = compute_global_ordering(cluster, records)
+        with tracer.span(
+            f"pipeline:{self.algorithm_name}",
+            phase="pipeline",
+            theta=config.theta,
+            func=config.func.value,
+            records=len(records),
+        ):
+            # Job 1 + driver-side planning, as the paper's SetUp does:
+            # vertical pivots from the ordering, horizontal pivots from the
+            # length histogram.
+            with tracer.span("order-build", phase="driver"):
+                order, ordering_result = compute_global_ordering(cluster, records)
+                cuts = select_pivots(
+                    order.rank_frequencies,
+                    config.n_vertical,
+                    method=config.pivot_method,
+                    seed=config.pivot_seed,
+                )
+                partitioner = VerticalPartitioner(cuts)
+                horizontal = build_horizontal_plan(
+                    [record.size for record in records],
+                    config.n_horizontal,
+                    config.theta,
+                    config.func,
+                )
 
-        # Driver-side planning, as the paper's SetUp does: vertical pivots
-        # from the ordering, horizontal pivots from the length histogram.
-        cuts = select_pivots(
-            order.rank_frequencies,
-            config.n_vertical,
-            method=config.pivot_method,
-            seed=config.pivot_seed,
-        )
-        partitioner = VerticalPartitioner(cuts)
-        horizontal = build_horizontal_plan(
-            [record.size for record in records],
-            config.n_horizontal,
-            config.theta,
-            config.func,
-        )
+            # Job 2: partition + fragment join → partial counts.
+            with tracer.span("filter-job", phase="driver"):
+                filter_job = FilterJob(config, order, partitioner, horizontal)
+                filter_result = cluster.run_job(
+                    filter_job, [(record.rid, record) for record in records]
+                )
+                verify_input = self._through_dfs(
+                    "fsjoin/partial-counts", filter_result.output
+                )
 
-        # Job 2: partition + fragment join → partial counts.
-        filter_job = FilterJob(config, order, partitioner, horizontal)
-        filter_result = cluster.run_job(
-            filter_job, [(record.rid, record) for record in records]
-        )
-        verify_input = self._through_dfs("fsjoin/partial-counts", filter_result.output)
+            # Job 3: aggregate counts → exact results.
+            with tracer.span("verify-job", phase="driver"):
+                verify_job = VerificationJob(config.theta, config.func)
+                verify_result = cluster.run_job(verify_job, verify_input)
 
-        # Job 3: aggregate counts → exact results.
-        verify_job = VerificationJob(config.theta, config.func)
-        verify_result = cluster.run_job(verify_job, verify_input)
-        self._through_dfs("fsjoin/results", verify_result.output)
+            with tracer.span("aggregation", phase="driver") as agg_span:
+                self._through_dfs("fsjoin/results", verify_result.output)
+                agg_span.attrs["pairs"] = len(verify_result.output)
+                result = PipelineResult(
+                    algorithm=self.algorithm_name,
+                    pairs=verify_result.output,
+                    job_results=[ordering_result, filter_result, verify_result],
+                )
 
-        return PipelineResult(
-            algorithm=self.algorithm_name,
-            pairs=verify_result.output,
-            job_results=[ordering_result, filter_result, verify_result],
-        )
+        if tracer.enabled:
+            result.trace = tracer.spans_since(mark)
+        return result
 
     def _through_dfs(self, path: str, pairs):
         """Round-trip one job's output through the DFS when one is attached."""

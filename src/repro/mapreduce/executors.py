@@ -24,6 +24,12 @@ backends (see ``tests/test_mapreduce_executors.py``).  Errors raised inside
 a task propagate at that task's index: the lowest-index failing task aborts
 the phase, matching serial semantics.
 
+The same ordering contract carries the tracing story: a task function may
+return spans it recorded locally (workers cannot reach the driver's
+tracer), and because ``run_tasks`` yields results in task-index order the
+driver adopts those spans deterministically — traces differ across
+backends only in timing, never in structure.
+
 Requirements for the parallel backends: jobs, input payloads, task outputs
 and the failure injector must be picklable for ``process`` (they travel to
 worker processes) and thread-safe for ``thread`` (the job object is shared).
@@ -69,6 +75,11 @@ class TaskExecutor:
     def run_tasks(self, fn: TaskFn, items: Sequence[Any]) -> List[T]:
         """Apply ``fn`` to every item; results ordered like ``items``."""
         raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short backend label for logs and trace span attributes."""
+        workers = getattr(self, "max_workers", None)
+        return f"{self.kind}[{workers}]" if workers else str(self.kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -21,6 +21,7 @@ from repro.mapreduce.costmodel import (
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.runtime import ClusterSpec, JobResult
+from repro.observability.tracer import Span
 
 Pair = Tuple[Any, Any]
 
@@ -33,6 +34,8 @@ class PipelineResult:
     pairs: List[Pair]
     """Final output: ``((rid_small, rid_large), score)`` per similar pair."""
     job_results: List[JobResult] = field(default_factory=list)
+    trace: Optional[Tuple[Span, ...]] = None
+    """The run's spans, when the driver ran with an enabled tracer."""
 
     @property
     def result_pairs(self) -> Dict[Tuple[int, int], float]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import functools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ExecutionError
@@ -31,6 +31,7 @@ from repro.mapreduce.job import JobContext, MapReduceJob
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.shuffle import group_sort_key
 from repro.mapreduce.sizer import estimate_pair_size
+from repro.observability.tracer import NOOP_TRACER, Span, Tracer
 
 Pair = Tuple[Any, Any]
 
@@ -109,6 +110,7 @@ class _TaskOutcome:
     payload: Any
     counters: Counters
     retries: int
+    spans: Tuple[Span, ...] = field(default=())
 
 
 def _execute_task(
@@ -119,6 +121,7 @@ def _execute_task(
     has_combiner: bool,
     injector: Optional[FailureInjector],
     max_attempts: int,
+    traced: bool = False,
 ) -> _TaskOutcome:
     """Run one task — including its Hadoop-style retry loop — to completion.
 
@@ -128,21 +131,45 @@ def _execute_task(
     under parallel dispatch.  The injector is consulted after the work
     (modelling a task that died before its commit); a failed attempt's
     buffered output and counters are simply discarded.
+
+    With ``traced`` set, every *attempt* — retried ones included — is
+    recorded as a span in a task-local tracer and shipped back on the
+    outcome for the driver to adopt; a worker cannot reach the driver's
+    tracer, and this keeps failed attempts' costs visible even though
+    their output is discarded.
     """
     task_id, payload = item
+    tracer = Tracer() if traced else NOOP_TRACER
     retries = 0
     for attempt in range(1, max_attempts + 1):
-        if phase == "map":
-            metrics, out, counters = _run_map_task(
-                job, task_id, payload, n_reduce, has_combiner
-            )
-        else:
-            metrics, out, counters = _run_reduce_task(job, task_id, payload)
-        if injector is not None and injector(phase, task_id, attempt):
+        with tracer.span(
+            f"{phase}:{task_id}", phase=phase, task_id=task_id, attempt=attempt
+        ) as span:
+            if phase == "map":
+                metrics, out, counters = _run_map_task(
+                    job, task_id, payload, n_reduce, has_combiner
+                )
+            else:
+                metrics, out, counters = _run_reduce_task(job, task_id, payload)
+            failed = injector is not None and injector(phase, task_id, attempt)
+            span.attrs["status"] = "retried" if failed else "ok"
+            if not failed and traced:
+                span.attrs.update(
+                    input_records=metrics.input_records,
+                    output_records=metrics.output_records,
+                    output_bytes=metrics.output_bytes,
+                    compute_seconds=metrics.compute_seconds,
+                    counters=counters.as_dict(),
+                )
+        if failed:
             retries += 1
             continue
         return _TaskOutcome(
-            metrics=metrics, payload=out, counters=counters, retries=retries
+            metrics=metrics,
+            payload=out,
+            counters=counters,
+            retries=retries,
+            spans=tracer.spans(),
         )
     raise ExecutionError(f"{phase} task {task_id} failed {max_attempts} attempts")
 
@@ -161,6 +188,14 @@ class SimulatedCluster:
     ``executor`` overrides the backend named by ``spec.executor``; it
     accepts a kind name (``"serial"``/``"thread"``/``"process"``) or a
     ready :class:`~repro.mapreduce.executors.TaskExecutor` instance.
+
+    ``tracer`` (default: the free no-op tracer) records one span per job,
+    per map/reduce wave, and per task *attempt* — retries included, with
+    the failed attempts marked ``status="retried"`` — plus a shuffle
+    span carrying the measured shuffle volume.  Task spans are collected
+    inside the workers and adopted in task-index order, so traces are
+    structurally identical across executor backends; results are
+    bit-identical with tracing on or off.
     """
 
     def __init__(
@@ -169,6 +204,7 @@ class SimulatedCluster:
         failure_injector: Optional[FailureInjector] = None,
         max_task_attempts: int = 4,
         executor: "Optional[ExecutorKind | str | TaskExecutor]" = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_task_attempts < 1:
             raise ConfigError("max_task_attempts must be >= 1")
@@ -179,6 +215,7 @@ class SimulatedCluster:
             executor if executor is not None else self.spec.executor,
             self.spec.executor_workers,
         )
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     def run_job(
@@ -200,40 +237,60 @@ class SimulatedCluster:
         metrics = JobMetrics(job_name=job.name)
         counters = Counters()
         has_combiner = type(job).combine is not MapReduceJob.combine
+        tracer = self.tracer
 
-        # ---- map phase ------------------------------------------------
-        partitions: List[Dict[Any, List[Any]]] = [dict() for _ in range(n_reduce)]
-        for outcome in self._run_phase(
-            "map", job, _split(input_pairs, n_map), n_reduce, has_combiner
+        with tracer.span(
+            f"job:{job.name}",
+            phase="job",
+            executor=self.executor.describe(),
+            map_tasks=n_map,
+            reduce_tasks=n_reduce,
         ):
-            # Hadoop's task commit: published in task-index order so the
-            # merged partitions are identical whichever backend ran the task.
-            for index, groups in outcome.payload.items():
-                target = partitions[index]
-                for key, values in groups.items():
-                    target.setdefault(key, []).extend(values)
-            self._fold(counters, metrics.map_tasks, "map", outcome)
+            # ---- map phase --------------------------------------------
+            partitions: List[Dict[Any, List[Any]]] = [
+                dict() for _ in range(n_reduce)
+            ]
+            with tracer.span("map-wave", phase="map-wave", tasks=n_map):
+                for outcome in self._run_phase(
+                    "map", job, _split(input_pairs, n_map), n_reduce, has_combiner
+                ):
+                    # Hadoop's task commit: published in task-index order so
+                    # the merged partitions (and adopted spans) are identical
+                    # whichever backend ran the task.
+                    for index, groups in outcome.payload.items():
+                        target = partitions[index]
+                        for key, values in groups.items():
+                            target.setdefault(key, []).extend(values)
+                    self._fold(counters, metrics.map_tasks, "map", outcome)
+                    tracer.adopt(outcome.spans)
 
-        # ---- shuffle accounting ----------------------------------------
-        shuffle_records = 0
-        shuffle_bytes = 0
-        for partition in partitions:
-            for key, values in partition.items():
-                shuffle_records += len(values)
-                key_size = estimate_pair_size(key, None) - 1
-                shuffle_bytes += sum(
-                    key_size + estimate_pair_size(None, v) - 1 for v in values
+            # ---- shuffle accounting -----------------------------------
+            with tracer.span("shuffle", phase="shuffle") as shuffle_span:
+                shuffle_records = 0
+                shuffle_bytes = 0
+                for partition in partitions:
+                    for key, values in partition.items():
+                        shuffle_records += len(values)
+                        key_size = estimate_pair_size(key, None) - 1
+                        shuffle_bytes += sum(
+                            key_size + estimate_pair_size(None, v) - 1
+                            for v in values
+                        )
+                metrics.shuffle_records = shuffle_records
+                metrics.shuffle_bytes = shuffle_bytes
+                shuffle_span.attrs.update(
+                    shuffle_records=shuffle_records, shuffle_bytes=shuffle_bytes
                 )
-        metrics.shuffle_records = shuffle_records
-        metrics.shuffle_bytes = shuffle_bytes
 
-        # ---- reduce phase ----------------------------------------------
-        output: List[Pair] = []
-        for outcome in self._run_phase(
-            "reduce", job, partitions, n_reduce, has_combiner
-        ):
-            output.extend(outcome.payload)
-            self._fold(counters, metrics.reduce_tasks, "reduce", outcome)
+            # ---- reduce phase -----------------------------------------
+            output: List[Pair] = []
+            with tracer.span("reduce-wave", phase="reduce-wave", tasks=n_reduce):
+                for outcome in self._run_phase(
+                    "reduce", job, partitions, n_reduce, has_combiner
+                ):
+                    output.extend(outcome.payload)
+                    self._fold(counters, metrics.reduce_tasks, "reduce", outcome)
+                    tracer.adopt(outcome.spans)
 
         return JobResult(output=output, metrics=metrics, counters=counters)
 
@@ -255,6 +312,7 @@ class SimulatedCluster:
             has_combiner=has_combiner,
             injector=self.failure_injector,
             max_attempts=self.max_task_attempts,
+            traced=self.tracer.enabled,
         )
         return self.executor.run_tasks(fn, list(enumerate(payloads)))
 

@@ -4,10 +4,30 @@ Python's builtin ``hash`` is randomized per process for strings, which would
 make task placement (and therefore metrics) non-reproducible.  The runtime
 uses :func:`stable_hash` instead — a deterministic recursive hash over the
 value kinds jobs emit as keys.
+
+**Key-normalization contract.**  A partitioner must satisfy
+``a == b ⇒ partition(a) == partition(b)``: Python collapses equal keys of
+different numeric types into one dict entry (``1``, ``1.0`` and ``True``
+are the *same* map-output group key), so if their hashes differed, one
+logical key group could be routed to different reduce partitions depending
+on which representative a mapper emitted first.  :func:`stable_hash`
+therefore normalizes numerics before hashing — ``bool`` and integral
+``float`` values are hashed through the ``int`` path, and the same rule
+applies element-wise inside tuples/lists/frozensets — mirroring CPython's
+own cross-type numeric hash invariant.  Property-tested in
+``tests/test_mr_shuffle.py`` (``a == b ⇒ stable_hash(a) == stable_hash(b)``
+over a mixed-type corpus).
+
+:func:`group_sort_key` gives reducers a deterministic key order even when
+one job emits keys of several incomparable types: keys are tagged by
+comparison class (numbers, strings, bytes, tuples, …) before their value,
+so ``sorted`` compares values only within a class and never raises
+``TypeError``.
 """
 
 from __future__ import annotations
 
+import math
 import zlib
 from typing import Any
 
@@ -15,14 +35,26 @@ _MASK = (1 << 61) - 1
 
 
 def stable_hash(value: Any) -> int:
-    """Deterministic, process-independent hash of common key types."""
+    """Deterministic, process-independent hash of common key types.
+
+    Equal keys hash equal even across numeric types (see the module
+    docstring): ``stable_hash(True) == stable_hash(1) == stable_hash(1.0)``.
+    """
     if value is None:
         return 0x9E3779B1
     if isinstance(value, bool):
-        return 0x85EBCA6B if value else 0xC2B2AE35
+        # bool is an int subclass and True == 1: hash through the int path.
+        return stable_hash(int(value))
     if isinstance(value, int):
         return (value * 0x9E3779B97F4A7C15) & _MASK
     if isinstance(value, float):
+        if math.isfinite(value) and value.is_integer():
+            # 2.0 == 2 must land on the same partition as the int form.
+            return stable_hash(int(value))
+        if math.isinf(value):
+            return 0x7F4A7C15 if value > 0 else 0x2545F491
+        if math.isnan(value):  # NaN != NaN; any stable value will do.
+            return 0x6C62272E
         return stable_hash(value.as_integer_ratio())
     if isinstance(value, str):
         return zlib.crc32(value.encode("utf-8")) * 0x9E3779B1 & _MASK
@@ -48,14 +80,26 @@ def default_partition(key: Any, n_partitions: int) -> int:
 
 
 def group_sort_key(key: Any):
-    """Deterministic ordering for reduce groups.
+    """Deterministic ordering for reduce groups, total across mixed types.
 
-    Keys within one job are homogeneous, so tuple/scalar comparisons work;
-    ``repr`` is the fallback for exotic key types.
+    Every key maps to a ``(class_tag, value)`` pair: tags (plain strings)
+    order the comparison classes, and values are only compared within one
+    class, where they are mutually comparable.  Numbers — ``bool``/``int``/
+    ``float`` — share one class (Python compares them cross-type), tuples
+    and lists recurse element-wise so ``(1, "a")`` and ``(1, 2)`` order
+    deterministically instead of raising, and exotic types fall back to
+    ``repr`` under a tag that sorts last.
     """
-    try:
-        if isinstance(key, (int, float, str, tuple)):
-            return (0, key)
-    except TypeError:  # pragma: no cover - defensive
-        pass
-    return (1, repr(key))
+    if isinstance(key, bool):
+        return ("num", int(key))
+    if isinstance(key, (int, float)):
+        return ("num", key)
+    if isinstance(key, str):
+        return ("str", key)
+    if isinstance(key, bytes):
+        return ("bytes", key)
+    if isinstance(key, (tuple, list)):
+        return ("tuple", tuple(group_sort_key(item) for item in key))
+    if key is None:
+        return ("none", 0)
+    return ("~" + type(key).__name__, repr(key))

@@ -1,0 +1,149 @@
+"""Trace serialization: JSONL records and Chrome ``trace_event`` JSON.
+
+Two interchange formats:
+
+* **JSONL** — one :meth:`Span.as_dict` object per line.  The stable,
+  greppable, schema-checked format (``tools/check_trace.py``); also what
+  :func:`read_jsonl` loads back for ``repro trace`` post-processing.
+* **Chrome trace JSON** — the ``trace_event`` format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: complete (``"ph": "X"``)
+  events with microsecond timestamps rebased to the trace start.  Spans
+  are laid out on one track (``tid``) per root span — a pipeline's jobs
+  stack under the pipeline row, task attempts under their wave — with
+  ``args`` carrying the span attrs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.observability.tracer import Span
+
+#: Required keys (and their types) of one JSONL trace record.
+JSONL_SCHEMA = {
+    "name": str,
+    "phase": str,
+    "start": (int, float),
+    "duration": (int, float),
+    "span_id": int,
+    "parent_id": (int, type(None)),
+    "attrs": dict,
+}
+
+
+def write_jsonl(spans: Sequence[Span], path: Union[str, Path]) -> int:
+    """Write spans as JSONL (start order preserved); returns the span count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.as_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(spans)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Load spans written by :func:`write_jsonl`."""
+    spans: List[Span] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Convert spans to a ``chrome://tracing`` / Perfetto document."""
+    origin = min((span.start for span in spans), default=0.0)
+    tracks = _assign_tracks(spans)
+    events = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.phase or "span",
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 0,
+                "tid": tracks[span.span_id],
+                "args": _jsonable(span.attrs),
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: Union[str, Path]) -> int:
+    """Write the Chrome-trace JSON document; returns the event count."""
+    document = to_chrome_trace(spans)
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    return len(document["traceEvents"])
+
+
+def chrome_path_for(trace_path: Union[str, Path]) -> Path:
+    """The Chrome-trace twin of a JSONL trace path (``x.jsonl`` → ``x.chrome.json``)."""
+    path = Path(trace_path)
+    stem = path.name[: -len(".jsonl")] if path.name.endswith(".jsonl") else path.name
+    return path.with_name(stem + ".chrome.json")
+
+
+def _assign_tracks(spans: Sequence[Span]) -> Dict[int, int]:
+    """One ``tid`` per root span so concurrent roots render as parallel rows.
+
+    Children inherit their root's track; task-attempt spans additionally
+    offset by their ``task_id`` attr so one wave's tasks fan out visually.
+    """
+    root_track: Dict[int, int] = {}
+    tracks: Dict[int, int] = {}
+    next_root = 0
+    for span in spans:  # start order: parents first
+        if span.parent_id is None or span.parent_id not in tracks:
+            root_track[span.span_id] = next_root * 1000
+            tracks[span.span_id] = next_root * 1000
+            next_root += 1
+        else:
+            base = tracks[span.parent_id] - tracks[span.parent_id] % 1000
+            task_id = span.attrs.get("task_id")
+            offset = (int(task_id) + 1) % 999 if task_id is not None else 0
+            tracks[span.span_id] = base + offset
+    return tracks
+
+
+def _jsonable(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Best-effort JSON-safe copy of span attrs (repr fallback)."""
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool, type(None))):
+            safe[key] = value
+        elif isinstance(value, dict):
+            safe[key] = _jsonable(value)
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [
+                v if isinstance(v, (str, int, float, bool, type(None))) else repr(v)
+                for v in value
+            ]
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+def validate_jsonl_record(record: Any) -> Optional[str]:
+    """Schema-check one parsed JSONL line; returns an error string or ``None``.
+
+    Shared by ``tools/check_trace.py`` and the tests so CI and the library
+    agree on what a valid trace record is.
+    """
+    if not isinstance(record, dict):
+        return f"record is {type(record).__name__}, not an object"
+    for key, types in JSONL_SCHEMA.items():
+        if key not in record:
+            return f"missing key {key!r}"
+        if not isinstance(record[key], types):
+            return f"key {key!r} has type {type(record[key]).__name__}"
+    if isinstance(record["span_id"], bool) or record["span_id"] < 1:
+        return f"span_id {record['span_id']!r} must be a positive int"
+    if record["duration"] < 0:
+        return f"negative duration {record['duration']!r}"
+    return None

@@ -1,4 +1,4 @@
-"""A bounded LRU cache for probe results.
+"""A bounded, thread-safe LRU cache for probe results.
 
 The service keys entries by ``(canonical token tuple, θ, func)`` — the
 full identity of an exact probe — and stores the *complete* hit list, so
@@ -7,6 +7,14 @@ filter of the same query.  Capacity 0 disables caching (every ``get``
 misses, ``put`` is a no-op), which the benchmarks use to measure cold
 probes.
 
+Every operation takes an internal lock: the service is probed from thread
+fan-outs (``search_batch`` over the thread executor, callers serving
+concurrent requests against one shared :class:`SimilarityService`), and an
+unsynchronized ``OrderedDict`` corrupts under concurrent ``move_to_end``/
+``popitem`` — ``tests/test_service_cache_stress.py`` hammers exactly that
+pattern.  The lock is *internal* state and deliberately excluded from
+pickling so cached services stay snapshot-friendly.
+
 Hit/miss/eviction accounting lives in the service's
 :class:`~repro.mapreduce.counters.Counters` (the cache itself stays a dumb
 container so it can be unit-tested in isolation).
@@ -14,6 +22,7 @@ container so it can be unit-tested in isolation).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, Optional, Tuple, TypeVar
 
@@ -23,44 +32,66 @@ V = TypeVar("V")
 
 
 class LRUCache(Generic[V]):
-    """Least-recently-used mapping with a fixed capacity."""
+    """Least-recently-used mapping with a fixed capacity (thread-safe)."""
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ConfigError("cache capacity must be >= 0")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self._lock = threading.Lock()
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[V]:
         """Return the cached value (refreshing its recency) or ``None``."""
-        try:
-            self._entries.move_to_end(key)
-        except KeyError:
-            return None
-        return self._entries[key]
+        with self._lock:
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                return None
+            return self._entries[key]
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert/refresh ``key``; evicts the least recently used entry."""
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (index mutation invalidates all results)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Keys from least to most recently used (for tests)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
+
+    # -- pickling (locks are not picklable) ----------------------------
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": list(self._entries.items()),
+                "evictions": self.evictions,
+            }
+
+    def __setstate__(self, state) -> None:
+        self.capacity = state["capacity"]
+        self._entries = OrderedDict(state["entries"])
+        self._lock = threading.Lock()
+        self.evictions = state["evictions"]

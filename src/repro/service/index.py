@@ -32,6 +32,7 @@ rounds).
 
 from __future__ import annotations
 
+import time
 from collections import Counter as TokenCounter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -46,6 +47,7 @@ from repro.data.records import Record, RecordCollection
 from repro.errors import DataError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.runtime import SimulatedCluster
+from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import (
     length_lower_bound,
@@ -236,6 +238,7 @@ class SegmentIndex:
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         filters: Optional[FilterConfig] = None,
         counters: Optional[Counters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchHit]:
         """Exact similarity search: all indexed records with ``sim ≥ θ``.
 
@@ -244,7 +247,7 @@ class SegmentIndex:
         callers that probe by an indexed record exclude its own id.
         """
         query = self.encode_query(tokens)
-        return self.probe_encoded(query, theta, func, filters, counters)
+        return self.probe_encoded(query, theta, func, filters, counters, tracer)
 
     def probe_encoded(
         self,
@@ -253,12 +256,24 @@ class SegmentIndex:
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         filters: Optional[FilterConfig] = None,
         counters: Optional[Counters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchHit]:
-        """Probe with an already-encoded query (the cacheable inner path)."""
+        """Probe with an already-encoded query (the cacheable inner path).
+
+        ``tracer``, when enabled, records the probe stages as spans:
+        ``prefix-filter`` (posting scans), then the per-stage accumulations
+        of :meth:`_evaluate` (``positional-bound``, ``fragment-filters``,
+        ``verification``).  Tracing never changes results.
+        """
         func = SimilarityFunction(func)
         filters = filters if filters is not None else FilterConfig()
-        candidates = self._candidates(query, theta, func, counters)
-        return self._evaluate(query, candidates, theta, func, filters, counters)
+        tracer = tracer if tracer is not None else NOOP_TRACER
+        with tracer.span("prefix-filter", phase="service") as span:
+            candidates = self._candidates(query, theta, func, counters)
+            span.attrs["candidates"] = len(candidates)
+        return self._evaluate(
+            query, candidates, theta, func, filters, counters, tracer
+        )
 
     def probe_batch(
         self,
@@ -267,6 +282,7 @@ class SegmentIndex:
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         filters: Optional[FilterConfig] = None,
         counters: Optional[Counters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[List[SearchHit]]:
         """Probe many queries with fragment-grouped posting scans.
 
@@ -279,23 +295,27 @@ class SegmentIndex:
         """
         func = SimilarityFunction(func)
         filters = filters if filters is not None else FilterConfig()
-        # Fragment → token → (query index, token position in query) probes.
-        grouped: List[Dict[int, List[Tuple[int, int]]]] = [
-            {} for _ in range(self.n_fragments)
-        ]
-        for qi, query in enumerate(queries):
-            for v, token, qpos in self._probe_tokens(query, theta, func):
-                grouped[v].setdefault(token, []).append((qi, qpos))
-        candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
-        for v, token_map in enumerate(grouped):
-            postings = self._postings[v]
-            for token, probes in token_map.items():
-                _bump(counters, "posting_lookups")
-                for rid, pos in postings.get(token, ()):
-                    for qi, qpos in probes:
-                        candidate_sets[qi].setdefault(rid, (v, qpos, pos))
+        tracer = tracer if tracer is not None else NOOP_TRACER
+        with tracer.span("prefix-filter", phase="service", queries=len(queries)):
+            # Fragment → token → (query index, token position in query).
+            grouped: List[Dict[int, List[Tuple[int, int]]]] = [
+                {} for _ in range(self.n_fragments)
+            ]
+            for qi, query in enumerate(queries):
+                for v, token, qpos in self._probe_tokens(query, theta, func):
+                    grouped[v].setdefault(token, []).append((qi, qpos))
+            candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
+            for v, token_map in enumerate(grouped):
+                postings = self._postings[v]
+                for token, probes in token_map.items():
+                    _bump(counters, "posting_lookups")
+                    for rid, pos in postings.get(token, ()):
+                        for qi, qpos in probes:
+                            candidate_sets[qi].setdefault(rid, (v, qpos, pos))
         return [
-            self._evaluate(query, candidate_sets[qi], theta, func, filters, counters)
+            self._evaluate(
+                query, candidate_sets[qi], theta, func, filters, counters, tracer
+            )
             for qi, query in enumerate(queries)
         ]
 
@@ -412,11 +432,22 @@ class SegmentIndex:
         func: SimilarityFunction,
         filter_config: FilterConfig,
         counters: Optional[Counters],
+        tracer: Tracer = NOOP_TRACER,
     ) -> List[SearchHit]:
-        """Filter candidates fragment-wise, then verify survivors exactly."""
+        """Filter candidates fragment-wise, then verify survivors exactly.
+
+        With an enabled tracer, the per-candidate stage costs are summed
+        into three spans per probe — ``positional-bound``,
+        ``fragment-filters`` and ``verification`` — because one span per
+        candidate would dwarf the work being measured.
+        """
         _bump(counters, "probes")
         if not candidates:
             return []
+        traced = tracer.enabled
+        positional_clock = _StageClock() if traced else None
+        fragment_clock = _StageClock() if traced else None
+        verify_clock = _StageClock() if traced else None
         if query.n_unknown:
             # The segment lemmas assume the segment token lists they see
             # are complete; unknown probe tokens break that for the last
@@ -446,20 +477,39 @@ class SegmentIndex:
                 if small < lower:
                     _bump(counters, "pruned_strl")
                     continue
-            if positional and self._positional_prune(
-                first_hit, qseg_by_fragment, self._segments[rid], filters
-            ):
-                _bump(counters, "pruned_positional")
-                continue
-            if not self._survives_fragments(
+            if positional:
+                if positional_clock:
+                    positional_clock.start()
+                pruned_positional = self._positional_prune(
+                    first_hit, qseg_by_fragment, self._segments[rid], filters
+                )
+                if positional_clock:
+                    positional_clock.stop()
+                if pruned_positional:
+                    _bump(counters, "pruned_positional")
+                    continue
+            if fragment_clock:
+                fragment_clock.start()
+            survives = self._survives_fragments(
                 query_segments, self._segments[rid], filters, counters
-            ):
+            )
+            if fragment_clock:
+                fragment_clock.stop()
+            if not survives:
                 continue
+            if verify_clock:
+                verify_clock.start()
             hit = self._verify(query, t_ranks, size_t, theta, func,
                                filter_config.early_verify, counters)
+            if verify_clock:
+                verify_clock.stop()
             if hit is not None:
                 hits.append(SearchHit(rid, hit))
                 _bump(counters, "results")
+        if traced:
+            positional_clock.emit(tracer, "positional-bound")
+            fragment_clock.emit(tracer, "fragment-filters")
+            verify_clock.emit(tracer, "verification")
         hits.sort(key=lambda hit: (-hit.score, hit.rid))
         return hits
 
@@ -565,6 +615,36 @@ class SegmentIndex:
         _bump(counters, "verified_pairs")
         _bump(counters, "verify_token_comparisons", comparisons)
         return verify_overlap(func, theta, common, size_q, size_t)
+
+
+class _StageClock:
+    """Accumulates one probe stage's wall time across many candidates.
+
+    Emitted as a single span whose ``start`` is the stage's first entry and
+    whose ``duration`` is the summed in-stage time — per-candidate spans
+    would cost more than the microseconds they measure.
+    """
+
+    __slots__ = ("first", "total", "calls", "_entered")
+
+    def __init__(self) -> None:
+        self.first: Optional[float] = None
+        self.total = 0.0
+        self.calls = 0
+        self._entered = 0.0
+
+    def start(self) -> None:
+        self._entered = time.perf_counter()
+        if self.first is None:
+            self.first = self._entered
+
+    def stop(self) -> None:
+        self.total += time.perf_counter() - self._entered
+        self.calls += 1
+
+    def emit(self, tracer: Tracer, name: str) -> None:
+        if self.first is not None:
+            tracer.add(name, "service", self.first, self.total, calls=self.calls)
 
 
 def _bump(counters: Optional[Counters], name: str, amount: int = 1) -> None:

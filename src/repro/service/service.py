@@ -18,11 +18,16 @@ All work is accounted in ``service.metrics`` (a
 :class:`~repro.mapreduce.counters.Counters`): ``service.cache`` tracks
 hits/misses/evictions/invalidations, ``service.probe`` tracks posting
 lookups, candidates, per-lemma prunes and token comparisons — the
-quantities ``benchmarks/bench_ext_query_service.py`` asserts on.
+quantities ``benchmarks/bench_ext_query_service.py`` asserts on.  On top
+of the counters, every request feeds a :class:`LatencyHistogram`
+(``latency_info()`` → p50/p95/p99) and, when the service is built with an
+enabled :class:`~repro.observability.tracer.Tracer`, per-probe spans
+covering cache lookup, prefix filter, positional bound and verification.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -30,6 +35,8 @@ from repro.core.config import FilterConfig
 from repro.data.records import Record, RecordCollection
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import ExecutorKind, TaskExecutor, create_executor
+from repro.observability.histogram import LatencyHistogram
+from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.service.cache import LRUCache
 from repro.service.index import EncodedQuery, SearchHit, SegmentIndex
 from repro.service.snapshot import load_index, save_index
@@ -50,13 +57,20 @@ class SimilarityService:
         filters: Optional[FilterConfig] = None,
         cache_size: int = 1024,
         executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``executor`` sets the default backend for :meth:`search_batch`
         (``None`` = in-process, fragment-grouped only); ``cache_size=0``
-        disables the result cache."""
+        disables the result cache.  ``tracer`` (default: the free no-op
+        tracer) records one ``probe``/``batch`` span per request with
+        ``cache-lookup``, ``prefix-filter``, ``positional-bound``,
+        ``fragment-filters`` and ``verification`` children; results are
+        bit-identical with tracing on or off."""
         self.index = index
         self.filters = filters if filters is not None else FilterConfig()
         self.metrics = Counters()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.latency = LatencyHistogram()
         self._cache: LRUCache[List[SearchHit]] = LRUCache(cache_size)
         self._executor = executor
 
@@ -76,16 +90,27 @@ class SimilarityService:
         probing by an indexed record.
         """
         func = SimilarityFunction(func)
+        started = time.perf_counter()
         key = self._cache_key(tokens, theta, func)
-        hits = self._cache.get(key)
-        if hits is None:
-            self.metrics.increment(CACHE_GROUP, "misses")
-            hits = self.index.probe(
-                key[0], theta, func, self.filters, self.metrics
-            )
-            self._put(key, hits)
-        else:
-            self.metrics.increment(CACHE_GROUP, "hits")
+        with self.tracer.span(
+            "probe", phase="service", theta=theta, func=func.value,
+            query_size=len(key[0]),
+        ) as span:
+            with self.tracer.span("cache-lookup", phase="service"):
+                hits = self._cache.get(key)
+            if hits is None:
+                self.metrics.increment(CACHE_GROUP, "misses")
+                span.attrs["cache"] = "miss"
+                hits = self.index.probe(
+                    key[0], theta, func, self.filters, self.metrics,
+                    tracer=self.tracer,
+                )
+                self._put(key, hits)
+            else:
+                self.metrics.increment(CACHE_GROUP, "hits")
+                span.attrs["cache"] = "hit"
+            span.attrs["hits"] = len(hits)
+        self.latency.record(time.perf_counter() - started)
         return _finish(hits, k, exclude)
 
     def search_rid(
@@ -120,28 +145,36 @@ class SimilarityService:
         every backend.
         """
         func = SimilarityFunction(func)
+        started = time.perf_counter()
         self.metrics.increment("service.batch", "batches")
         self.metrics.increment("service.batch", "queries", len(queries))
-        keys = [self._cache_key(tokens, theta, func) for tokens in queries]
-        resolved: Dict[CacheKey, List[SearchHit]] = {}
-        misses: List[CacheKey] = []
-        for key in keys:
-            if key in resolved:
-                continue
-            hits = self._cache.get(key)
-            if hits is None:
-                self.metrics.increment(CACHE_GROUP, "misses")
-                misses.append(key)
-                resolved[key] = []  # placeholder; filled below
-            else:
-                self.metrics.increment(CACHE_GROUP, "hits")
-                resolved[key] = hits
-        self.metrics.increment("service.batch", "unique_misses", len(misses))
-        if misses:
-            for key, hits in zip(misses, self._probe_misses(misses, theta, func,
-                                                            executor)):
-                resolved[key] = hits
-                self._put(key, hits)
+        with self.tracer.span(
+            "batch", phase="service", theta=theta, func=func.value,
+            queries=len(queries),
+        ) as span:
+            keys = [self._cache_key(tokens, theta, func) for tokens in queries]
+            resolved: Dict[CacheKey, List[SearchHit]] = {}
+            misses: List[CacheKey] = []
+            with self.tracer.span("cache-lookup", phase="service"):
+                for key in keys:
+                    if key in resolved:
+                        continue
+                    hits = self._cache.get(key)
+                    if hits is None:
+                        self.metrics.increment(CACHE_GROUP, "misses")
+                        misses.append(key)
+                        resolved[key] = []  # placeholder; filled below
+                    else:
+                        self.metrics.increment(CACHE_GROUP, "hits")
+                        resolved[key] = hits
+            self.metrics.increment("service.batch", "unique_misses", len(misses))
+            span.attrs["unique_misses"] = len(misses)
+            if misses:
+                for key, hits in zip(misses, self._probe_misses(misses, theta,
+                                                                func, executor)):
+                    resolved[key] = hits
+                    self._put(key, hits)
+        self.latency.record(time.perf_counter() - started)
         return [_finish(resolved[key], k, None) for key in keys]
 
     def _probe_misses(
@@ -155,18 +188,26 @@ class SimilarityService:
         backend = executor if executor is not None else self._executor
         if backend is None or len(misses) <= 1:
             return self.index.probe_batch(
-                encoded, theta, func, self.filters, self.metrics
+                encoded, theta, func, self.filters, self.metrics,
+                tracer=self.tracer,
             )
         executor_obj = create_executor(backend)
         chunks = _chunk(encoded, getattr(executor_obj, "max_workers", 1))
+        traced = self.tracer.enabled
         outputs = executor_obj.run_tasks(
             _probe_chunk_task,
-            [(self.index, chunk, theta, func, self.filters) for chunk in chunks],
+            [
+                (self.index, chunk, theta, func, self.filters, traced)
+                for chunk in chunks
+            ],
         )
         results: List[List[SearchHit]] = []
-        for chunk_hits, counters in outputs:
+        # Merged in chunk order, like the runtime's task-index-order commit,
+        # so counters and adopted spans are deterministic per backend.
+        for chunk_hits, counters, spans in outputs:
             results.extend(chunk_hits)
             self.metrics.merge(counters)
+            self.tracer.adopt(spans)
         return results
 
     # -- maintenance ---------------------------------------------------
@@ -197,10 +238,11 @@ class SimilarityService:
         filters: Optional[FilterConfig] = None,
         cache_size: int = 1024,
         executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "SimilarityService":
         """Build a service over a snapshot written by :meth:`save`."""
         return cls(load_index(path), filters=filters, cache_size=cache_size,
-                   executor=executor)
+                   executor=executor, tracer=tracer)
 
     # -- introspection -------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
@@ -213,6 +255,11 @@ class SimilarityService:
             "size": len(self._cache),
             "capacity": self._cache.capacity,
         }
+
+    def latency_info(self) -> Dict[str, Union[int, float]]:
+        """Request-latency percentiles (one observation per ``search`` or
+        ``search_batch`` call, cache hits included), ``cache_info``-style."""
+        return self.latency.snapshot()
 
     # -- internals -----------------------------------------------------
     @staticmethod
@@ -254,9 +301,16 @@ def _chunk(items: Sequence, workers: int) -> List[List]:
     return chunks
 
 
-def _probe_chunk_task(payload) -> Tuple[List[List[SearchHit]], Counters]:
-    """Module-level task body so the process backend can pickle it."""
-    index, chunk, theta, func, filters = payload
+def _probe_chunk_task(payload):
+    """Module-level task body so the process backend can pickle it.
+
+    Returns ``(hits, counters, spans)``: spans are recorded in a
+    chunk-local tracer (workers cannot reach the service's) and adopted by
+    the coordinator in chunk order.
+    """
+    index, chunk, theta, func, filters, traced = payload
     counters = Counters()
-    hits = index.probe_batch(chunk, theta, func, filters, counters)
-    return hits, counters
+    tracer = Tracer() if traced else NOOP_TRACER
+    with tracer.span("probe-chunk", phase="service", queries=len(chunk)):
+        hits = index.probe_batch(chunk, theta, func, filters, counters, tracer)
+    return hits, counters, tracer.spans()

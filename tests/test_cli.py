@@ -188,6 +188,71 @@ class TestIndexSearch:
         assert "no snapshot" in capsys.readouterr().err
 
 
+class TestTrace:
+    def test_join_trace_writes_jsonl_and_chrome(self, corpus_file, tmp_path,
+                                                capsys):
+        trace = tmp_path / "join.jsonl"
+        code = main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+                     "--quiet", "--trace", str(trace)])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines() if line]
+        assert records
+        phases = {record["phase"] for record in records}
+        assert {"pipeline", "driver", "job", "map-wave", "map",
+                "shuffle", "reduce-wave", "reduce"} <= phases
+        chrome = tmp_path / "join.chrome.json"
+        assert chrome.exists()
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_join_trace_results_identical(self, corpus_file, tmp_path, capsys):
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet"])
+        plain = capsys.readouterr().out
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet", "--trace", str(tmp_path / "t.jsonl")])
+        assert capsys.readouterr().out == plain
+
+    def test_join_trace_prints_breakdown(self, corpus_file, tmp_path, capsys):
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--trace", str(tmp_path / "t.jsonl")])
+        err = capsys.readouterr().err
+        assert "phase breakdown" in err
+        assert "map-wave" in err
+
+    def test_search_trace_and_latency(self, corpus_file, tmp_path, capsys):
+        index = tmp_path / "c.idx"
+        main(["index", corpus_file, "--output", str(index), "--vertical", "6"])
+        capsys.readouterr()
+        trace = tmp_path / "search.jsonl"
+        code = main(["search", str(index), "--query-file", corpus_file,
+                     "--theta", "0.6", "--trace", str(trace)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["latency"]["count"] >= 1
+        phases = {json.loads(line)["phase"]
+                  for line in trace.read_text().splitlines() if line}
+        assert "service" in phases
+
+    def test_trace_subcommand_reports(self, corpus_file, tmp_path, capsys):
+        trace = tmp_path / "join.jsonl"
+        main(["join", corpus_file, "--theta", "0.8", "--vertical", "6",
+              "--quiet", "--trace", str(trace)])
+        capsys.readouterr()
+        chrome = tmp_path / "replay.chrome.json"
+        code = main(["trace", str(trace), "--chrome", str(chrome)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out and "pipeline" in out
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_trace_subcommand_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_stats_file(self, capsys):
         code = main(["stats", "/nonexistent/path.txt"])

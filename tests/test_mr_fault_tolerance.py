@@ -31,13 +31,25 @@ class WordCount(MapReduceJob):
 LINES = [(i, f"w{i % 5} w{i % 3} common") for i in range(40)]
 
 
+class FailFirstAttempts:
+    """Every task of the given phases fails its first attempt.
+
+    A module-level class (not a closure) so the process executor can
+    pickle it along with the task payloads.
+    """
+
+    def __init__(self, phases=("map", "reduce")):
+        self.phases = tuple(phases)
+
+    def __call__(self, phase, task_id, attempt):
+        return phase in self.phases and attempt == 1
+
+
 def fail_first_attempts(phases=("map", "reduce")):
-    """Every task of the given phases fails its first attempt."""
+    return FailFirstAttempts(phases)
 
-    def injector(phase, task_id, attempt):
-        return phase in phases and attempt == 1
 
-    return injector
+EXECUTORS = ["serial", "thread", "process"]
 
 
 class TestRetries:
@@ -100,6 +112,80 @@ class TestRetries:
             ClusterSpec(workers=2), failure_injector=fail_first_attempts(("map",))
         ).run_job(Counting(), LINES)
         assert result.counters.get("user", "map_calls") == len(LINES)
+
+
+class TestRetriesAcrossExecutors:
+    """Retry accounting must be identical on every executor backend."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_retry_counts_per_backend(self, executor):
+        spec = ClusterSpec(workers=2, map_slots=2, reduce_slots=2)
+        result = SimulatedCluster(
+            spec,
+            failure_injector=FailFirstAttempts(("map",)),
+            executor=executor,
+        ).run_job(WordCount(), LINES, num_map_tasks=4)
+        assert result.counters.get("mapreduce", "map_task_retries") == 4
+        assert result.counters.get("mapreduce", "reduce_task_retries") == 0
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_output_identical_per_backend(self, executor):
+        clean = SimulatedCluster(ClusterSpec(workers=3)).run_job(WordCount(), LINES)
+        faulty = SimulatedCluster(
+            ClusterSpec(workers=3),
+            failure_injector=FailFirstAttempts(),
+            executor=executor,
+        ).run_job(WordCount(), LINES)
+        assert faulty.output == clean.output
+
+
+class TestRetrySpans:
+    """Traces must record one span per task *attempt*, retries included."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_one_retried_span_per_injected_failure(self, executor):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        spec = ClusterSpec(workers=2, map_slots=2, reduce_slots=2)
+        result = SimulatedCluster(
+            spec,
+            failure_injector=FailFirstAttempts(("map",)),
+            executor=executor,
+            tracer=tracer,
+        ).run_job(WordCount(), LINES, num_map_tasks=4, num_reduce_tasks=2)
+        spans = tracer.spans()
+
+        retried = [s for s in spans if s.attrs.get("status") == "retried"]
+        injected = result.counters.get("mapreduce", "map_task_retries")
+        assert injected == 4
+        assert len(retried) == injected
+        assert {s.phase for s in retried} == {"map"}
+        # Each failed first attempt is followed by a successful second one.
+        for task_id in range(4):
+            attempts = sorted(
+                (s.attrs["attempt"], s.attrs["status"])
+                for s in spans
+                if s.phase == "map" and s.attrs.get("task_id") == task_id
+            )
+            assert attempts == [(1, "retried"), (2, "ok")]
+
+    def test_flaky_task_span_sequence(self):
+        from repro.observability import Tracer
+
+        def injector(phase, task_id, attempt):
+            return phase == "reduce" and task_id == 0 and attempt < 3
+
+        tracer = Tracer()
+        SimulatedCluster(
+            ClusterSpec(workers=2), failure_injector=injector, tracer=tracer
+        ).run_job(WordCount(), LINES, num_reduce_tasks=2)
+        attempts = sorted(
+            (s.attrs["attempt"], s.attrs["status"])
+            for s in tracer.spans()
+            if s.phase == "reduce" and s.attrs.get("task_id") == 0
+        )
+        assert attempts == [(1, "retried"), (2, "retried"), (3, "ok")]
 
 
 class TestFullPipelineUnderFailures:

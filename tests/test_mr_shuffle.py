@@ -8,6 +8,8 @@ import sys
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
 from repro.mapreduce.shuffle import default_partition, group_sort_key, stable_hash
 
 keys = st.one_of(
@@ -16,6 +18,16 @@ keys = st.one_of(
     st.tuples(st.integers(0, 100), st.integers(0, 100)),
     st.booleans(),
     st.none(),
+)
+
+# Keys that can compare equal across Python types: True == 1 == 1.0,
+# 2**53 == float(2**53), etc.  The partitioner contract demands equal
+# hashes for all of them (see shuffle.py's module docstring).
+numeric_keys = st.one_of(
+    st.booleans(),
+    st.integers(-(2**60), 2**60),
+    st.floats(allow_nan=False, width=64),
+    st.integers(-(2**60), 2**60).map(float).filter(lambda f: abs(f) < 2**63),
 )
 
 
@@ -51,8 +63,34 @@ class TestStableHash:
 
     @given(keys, keys)
     def test_equal_keys_equal_hashes(self, a, b):
-        if a == b and type(a) is type(b):
+        if a == b:
             assert stable_hash(a) == stable_hash(b)
+
+    @given(numeric_keys, numeric_keys)
+    def test_cross_type_numeric_equality(self, a, b):
+        """Regression: ``a == b ⇒ stable_hash(a) == stable_hash(b)`` must
+        hold even when ``type(a) is not type(b)`` — a key emitted as ``1``
+        by one mapper and ``1.0`` by another lands on one reducer."""
+        if a == b:
+            assert stable_hash(a) == stable_hash(b)
+
+    def test_bool_int_float_are_one_key(self):
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(False) == stable_hash(0) == stable_hash(0.0)
+        assert stable_hash(2**53) == stable_hash(float(2**53))
+
+    def test_nested_numeric_keys_normalize(self):
+        assert stable_hash((1, "x")) == stable_hash((1.0, "x")) == stable_hash((True, "x"))
+
+    def test_nonintegral_floats_still_hash(self):
+        assert stable_hash(0.5) == stable_hash(0.5)
+        assert stable_hash(0.5) != stable_hash(1.5)
+
+    def test_nonfinite_floats_hash_consistently(self):
+        assert stable_hash(float("inf")) == stable_hash(float("inf"))
+        assert stable_hash(float("-inf")) == stable_hash(float("-inf"))
+        assert stable_hash(float("nan")) == stable_hash(float("nan"))
+        assert stable_hash(float("inf")) != stable_hash(float("-inf"))
 
 
 class TestDefaultPartition:
@@ -79,3 +117,58 @@ class TestGroupSortKey:
                 return "odd"
 
         sorted([Odd(), Odd()], key=group_sort_key)  # must not raise
+
+    def test_mixed_int_and_str_keys(self):
+        """Regression: ``sorted([1, "a"])`` raises TypeError in Python 3;
+        group_sort_key must impose a total order across comparison classes."""
+        mixed = ["b", 2, "a", 1, None, (1, "x"), True]
+        once = sorted(mixed, key=group_sort_key)
+        assert sorted(reversed(mixed), key=group_sort_key) == once
+        # Within a class, natural order is preserved.
+        assert [k for k in once if isinstance(k, str)] == ["a", "b"]
+        assert [k for k in once if isinstance(k, int) and not isinstance(k, bool)] == [1, 2]
+
+    def test_mixed_nested_tuple_keys(self):
+        mixed = [(1, "a"), ("a", 1), (1, 2)]
+        once = sorted(mixed, key=group_sort_key)
+        assert sorted(reversed(mixed), key=group_sort_key) == once
+
+    def test_bool_sorts_as_int(self):
+        assert sorted([2, True, 0], key=group_sort_key) == [0, True, 2]
+
+
+class MixedKeyJob(MapReduceJob):
+    """Emits int and str keys from the same map phase."""
+
+    name = "mixed-keys"
+
+    def map(self, key, value, emit, context):
+        emit(value, 1)          # str key
+        emit(len(value), 1)     # int key
+
+    def reduce(self, key, values, emit, context):
+        emit(key, sum(values))
+
+
+class TestMixedKeyJob:
+    def test_reduce_handles_mixed_key_types(self):
+        """Regression: the sorted group phase used to raise TypeError when a
+        reducer partition received both int and str keys."""
+        lines = [(i, w) for i, w in enumerate(["aa", "bb", "ccc", "aa"])]
+        result = SimulatedCluster(ClusterSpec(workers=2)).run_job(
+            MixedKeyJob(), lines, num_reduce_tasks=1
+        )
+        counts = dict(result.output)
+        assert counts["aa"] == 2
+        assert counts[2] == 3  # len("aa") twice + len("bb")
+        assert counts[3] == 1
+
+    def test_mixed_key_output_deterministic(self):
+        lines = [(i, w) for i, w in enumerate(["aa", "bb", "ccc", "aa"])]
+        runs = [
+            SimulatedCluster(ClusterSpec(workers=2)).run_job(
+                MixedKeyJob(), lines, num_reduce_tasks=1
+            ).output
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

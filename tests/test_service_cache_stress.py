@@ -1,0 +1,131 @@
+"""Concurrency stress tests for the service's LRU cache.
+
+The service is probed from thread fan-outs (``search_batch`` over the
+thread executor, callers sharing one :class:`SimilarityService` across
+request threads).  Before the cache grew an internal lock, concurrent
+``move_to_end``/``popitem`` on the backing ``OrderedDict`` could corrupt
+it (KeyError from ``popitem`` on an entry another thread just moved,
+sizes drifting past capacity, evictions lost).  These tests hammer
+exactly that pattern with a tiny capacity so evictions race refreshes on
+every operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service import LRUCache, SegmentIndex, SimilarityService
+from tests.conftest import random_collection
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+class TestLRUCacheUnderThreads:
+    def test_concurrent_put_get_stays_consistent(self):
+        cache = LRUCache(4)  # tiny: every put races an eviction
+        errors = []
+        barrier = threading.Barrier(THREADS)
+
+        def hammer(seed):
+            barrier.wait()
+            try:
+                for i in range(OPS_PER_THREAD):
+                    key = f"k{(seed * 31 + i) % 16}"
+                    if cache.get(key) is None:
+                        cache.put(key, (seed, i))
+                    if i % 64 == 0:
+                        cache.keys()
+                        len(cache)
+            except Exception as exc:  # corruption surfaces as KeyError etc.
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, f"cache corrupted under threads: {errors[:3]}"
+        assert len(cache) <= 4
+        # Every surviving key must still be retrievable.
+        for key in cache.keys():
+            assert cache.get(key) is not None
+
+    def test_concurrent_clear_and_put(self):
+        cache = LRUCache(4)
+        errors = []
+
+        def writer():
+            try:
+                for i in range(OPS_PER_THREAD):
+                    cache.put(f"k{i % 8}", i)
+            except Exception as exc:
+                errors.append(exc)
+
+        def clearer():
+            try:
+                for _ in range(OPS_PER_THREAD // 4):
+                    cache.clear()
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 4
+
+
+class TestServiceUnderThreads:
+    def test_search_batch_hammered_from_threads(self):
+        """Many threads share one service with a tiny cache; results must
+        match a single-threaded reference run and nothing may raise."""
+        corpus = random_collection(60, seed=77)
+        index = SegmentIndex.build(corpus, n_vertical=5)
+        queries = [list(record.tokens) for record in corpus][:20]
+        theta = 0.5
+
+        reference = SimilarityService(
+            SegmentIndex.build(corpus, n_vertical=5), cache_size=1024
+        ).search_batch(queries, theta)
+
+        service = SimilarityService(index, cache_size=3, executor="thread")
+
+        def probe(offset):
+            rotated = queries[offset % len(queries):] + queries[:offset % len(queries)]
+            return service.search_batch(rotated, theta)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            outcomes = list(pool.map(probe, range(24)))
+
+        for offset, hits in zip(range(24), outcomes):
+            shift = offset % len(queries)
+            expected = reference[shift:] + reference[:shift]
+            assert hits == expected
+        # The tiny cache was thrashed but never corrupted.
+        info = service.cache_info()
+        assert info["size"] <= 3
+        assert info["capacity"] == 3
+
+    def test_single_search_hammered_from_threads(self):
+        corpus = random_collection(40, seed=78)
+        service = SimilarityService(
+            SegmentIndex.build(corpus, n_vertical=4), cache_size=2
+        )
+        queries = [list(record.tokens) for record in corpus][:10]
+        expected = [service.search(tokens, 0.5) for tokens in queries]
+
+        def probe(i):
+            return service.search(queries[i % len(queries)], 0.5)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            outcomes = list(pool.map(probe, range(200)))
+        for i, hits in enumerate(outcomes):
+            assert hits == expected[i % len(queries)]

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Validate a JSONL trace written by ``--trace`` (CI's schema gate).
+
+Checks, per line: the record parses as JSON, matches the span schema
+(``repro.observability.export.JSONL_SCHEMA``), and durations are
+non-negative.  Across the file: span ids are unique, every non-null
+``parent_id`` references a span that appeared *earlier* (spans are written
+in start order, parents first), and at least one root span exists.  With
+``--expect-phases`` the named phases must each occur at least once; with
+``--expect-retries`` at least N spans must be marked ``status="retried"``.
+
+Exit code 0 on a valid trace, 1 with one diagnostic per violation.
+
+Usage::
+
+    python tools/check_trace.py run.jsonl
+    python tools/check_trace.py run.jsonl \
+        --expect-phases pipeline job map reduce shuffle --expect-retries 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability.export import validate_jsonl_record  # noqa: E402
+
+
+def check_trace(path, expect_phases=(), expect_retries=0):
+    """Return a list of violation strings (empty = valid)."""
+    errors = []
+    seen_ids = set()
+    phases = set()
+    roots = 0
+    retried = 0
+    lines = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        return [f"cannot open {path}: {exc}"]
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not valid JSON ({exc})")
+                continue
+            problem = validate_jsonl_record(record)
+            if problem:
+                errors.append(f"line {lineno}: {problem}")
+                continue
+            span_id = record["span_id"]
+            if span_id in seen_ids:
+                errors.append(f"line {lineno}: duplicate span_id {span_id}")
+            seen_ids.add(span_id)
+            parent = record["parent_id"]
+            if parent is None:
+                roots += 1
+            elif parent not in seen_ids:
+                errors.append(
+                    f"line {lineno}: parent_id {parent} does not reference "
+                    "an earlier span (traces are written parents-first)"
+                )
+            phases.add(record["phase"])
+            if record["attrs"].get("status") == "retried":
+                retried += 1
+    if not lines:
+        errors.append("trace is empty")
+    elif not roots:
+        errors.append("no root span (every span has a parent)")
+    for phase in expect_phases:
+        if phase not in phases:
+            errors.append(
+                f"expected phase {phase!r} missing "
+                f"(saw: {', '.join(sorted(phases)) or 'none'})"
+            )
+    if retried < expect_retries:
+        errors.append(
+            f"expected >= {expect_retries} retried task spans, found {retried}"
+        )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument("--expect-phases", nargs="*", default=[],
+                        help="phases that must appear at least once")
+    parser.add_argument("--expect-retries", type=int, default=0,
+                        help="minimum number of status=retried task spans")
+    args = parser.parse_args(argv)
+    errors = check_trace(args.trace, args.expect_phases, args.expect_retries)
+    if errors:
+        for error in errors:
+            print(f"check_trace: {error}", file=sys.stderr)
+        return 1
+    print(f"check_trace: {args.trace} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
