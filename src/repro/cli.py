@@ -10,6 +10,10 @@ Subcommands:
 * ``estimate`` — sampling-based estimate of the join's result count;
 * ``index`` — build a persistent similarity-search index (serving layer);
 * ``search`` — probe an index file and print the exact hits as JSON;
+* ``cluster`` — sharded, replicated serving: ``build`` a cluster directory,
+  ``search`` it scatter-gather (with ``--fail-shard`` failure injection),
+  inspect ``status``, or replay skewed traffic with ``serve-sim``
+  (optionally rebalancing hot fragments);
 * ``trace`` — summarize/convert a trace written with ``--trace``.
 
 ``join`` and ``search`` accept ``--trace PATH``: the run records one span
@@ -30,6 +34,12 @@ Examples::
     python -m repro index wiki.txt --output wiki.idx
     python -m repro search wiki.idx --query "w007 w012 w040" --theta 0.6
     python -m repro search wiki.idx --rid 17 --theta 0.8 -k 5
+    python -m repro cluster build wiki.txt --output wiki.cluster \\
+        --shards 4 --replication 2
+    python -m repro cluster search wiki.cluster --rid 17 --theta 0.8 \\
+        --fail-shard 1
+    python -m repro cluster serve-sim wiki.cluster --probes 500 --zipf 1.2 \\
+        --rebalance
     python -m repro trace run.jsonl --chrome run.chrome.json
 """
 
@@ -151,6 +161,78 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record per-probe spans (cache lookup, prefix "
                              "filter, positional bound, verification); "
                              "writes JSONL to PATH plus a Chrome trace twin")
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded, replicated serving cluster (build/search/"
+                        "status/serve-sim)"
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cbuild = csub.add_parser(
+        "build", help="shard a corpus into a cluster directory"
+    )
+    cbuild.add_argument("input", help="corpus file to index and shard")
+    cbuild.add_argument("--output", required=True,
+                        help="cluster directory (manifest + shard snapshots)")
+    cbuild.add_argument("--shards", type=int, default=4)
+    cbuild.add_argument("--replication", type=int, default=1)
+    cbuild.add_argument("--vertical", type=int, default=30)
+    cbuild.add_argument("--pivot-method",
+                        choices=[m.value for m in PivotMethod],
+                        default=PivotMethod.EVEN_TF.value)
+    cbuild.add_argument("--pivot-seed", type=int, default=0)
+
+    csearch = csub.add_parser(
+        "search", help="scatter-gather probe of a cluster (JSON output)"
+    )
+    csearch.add_argument("cluster_dir",
+                         help="directory written by 'repro cluster build'")
+    csearch.add_argument("--theta", type=float, default=0.8)
+    csearch.add_argument("--func",
+                         choices=[f.value for f in SimilarityFunction],
+                         default="jaccard")
+    csearch.add_argument("-k", type=int, default=None,
+                         help="return at most k hits per query")
+    cwhat = csearch.add_mutually_exclusive_group(required=True)
+    cwhat.add_argument("--query", help="probe tokens (whitespace-separated)")
+    cwhat.add_argument("--rid", type=int,
+                       help="probe an indexed record by id (itself excluded)")
+    cwhat.add_argument("--query-file",
+                       help="batch probe: one record per line, corpus format")
+    csearch.add_argument("--fail-shard", type=int, metavar="SHARD",
+                         help="inject a failure: kill replica 0 of this shard "
+                              "before searching (exercises failover)")
+    csearch.add_argument("--executor", choices=("serial", "thread"),
+                         default="serial",
+                         help="scatter legs run serially or on threads")
+    csearch.add_argument("--trace", metavar="PATH",
+                         help="record the cross-shard request tree (route, "
+                              "per-shard probes, merge); writes JSONL to PATH "
+                              "plus a Chrome trace twin")
+
+    cstatus = csub.add_parser(
+        "status", help="plan, health, heat and balance of a cluster (JSON)"
+    )
+    cstatus.add_argument("cluster_dir")
+
+    cserve = csub.add_parser(
+        "serve-sim", help="replay simulated traffic against a cluster"
+    )
+    cserve.add_argument("cluster_dir")
+    cserve.add_argument("--probes", type=int, default=200)
+    cserve.add_argument("--zipf", type=float, default=1.1,
+                        help="query-popularity skew exponent (0 = uniform)")
+    cserve.add_argument("--seed", type=int, default=0)
+    cserve.add_argument("--theta", type=float, default=0.7)
+    cserve.add_argument("--func",
+                        choices=[f.value for f in SimilarityFunction],
+                        default="jaccard")
+    cserve.add_argument("--rebalance", action="store_true",
+                        help="after the traffic, migrate hot fragments and "
+                             "replay to show the before/after balance")
+    cserve.add_argument("--skew-threshold", type=float, default=1.5)
+    cserve.add_argument("--fail-shard", type=int, metavar="SHARD",
+                        help="kill replica 0 of this shard before the replay")
 
     trace = sub.add_parser(
         "trace", help="summarize/convert a JSONL trace written with --trace"
@@ -327,6 +409,39 @@ def _cmd_index(args) -> int:
     return 0
 
 
+def _hit_rows(hits):
+    return [{"rid": hit.rid, "score": round(hit.score, 6)} for hit in hits]
+
+
+def _read_query_file(path):
+    """Load a query file, turning I/O and encoding failures into clear
+    :class:`~repro.errors.DataError` messages (exit 1, never a traceback)."""
+    from repro.errors import DataError
+
+    try:
+        return load_records(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise DataError(f"cannot read query file {path}: {reason}") from None
+    except UnicodeDecodeError as exc:
+        raise DataError(
+            f"query file {path} is not readable UTF-8 text: {exc}"
+        ) from None
+
+
+def _rid_tokens(backend, rid):
+    """An indexed record's tokens, with a CLI-clear unknown-rid message."""
+    from repro.errors import DataError
+
+    try:
+        return list(backend.tokens_of(rid))
+    except DataError:
+        raise DataError(
+            f"unknown --rid {rid}: no such record in the index "
+            "(probe by --query instead, or re-index)"
+        ) from None
+
+
 def _cmd_search(args) -> int:
     import json
 
@@ -336,11 +451,8 @@ def _cmd_search(args) -> int:
     service = SimilarityService.load(args.index, tracer=tracer)
     func = SimilarityFunction(args.func)
 
-    def hit_rows(hits):
-        return [{"rid": hit.rid, "score": round(hit.score, 6)} for hit in hits]
-
     if args.query_file:
-        queries = [record.tokens for record in load_records(args.query_file)]
+        queries = [record.tokens for record in _read_query_file(args.query_file)]
         results = service.search_batch(
             queries, args.theta, k=args.k, func=func, executor=args.executor
         )
@@ -348,13 +460,13 @@ def _cmd_search(args) -> int:
             "theta": args.theta,
             "func": func.value,
             "results": [
-                {"query": list(tokens), "hits": hit_rows(hits)}
+                {"query": list(tokens), "hits": _hit_rows(hits)}
                 for tokens, hits in zip(queries, results)
             ],
         }
     else:
         if args.rid is not None:
-            tokens = list(service.index.tokens_of(args.rid))
+            tokens = _rid_tokens(service.index, args.rid)
             hits = service.search_rid(args.rid, args.theta, k=args.k, func=func)
         else:
             tokens = args.query.split()
@@ -363,7 +475,7 @@ def _cmd_search(args) -> int:
             "query": tokens,
             "theta": args.theta,
             "func": func.value,
-            "hits": hit_rows(hits),
+            "hits": _hit_rows(hits),
         }
     if args.trace:
         document["latency"] = service.latency_info()
@@ -371,6 +483,171 @@ def _cmd_search(args) -> int:
         _print_phase_breakdown(tracer)
     print(json.dumps(document))
     return 0
+
+
+def _fail_replica(router, shard) -> None:
+    """Apply the ``--fail-shard`` chaos switch (replica 0 of one shard)."""
+    from repro.errors import ClusterError
+
+    if not 0 <= shard < router.n_shards:
+        raise ClusterError(
+            f"--fail-shard {shard} out of range (cluster has "
+            f"{router.n_shards} shards)"
+        )
+    router.replica(shard, 0).fail()
+    print(f"injected failure: shard {shard} replica 0 is down", file=sys.stderr)
+
+
+def _cmd_cluster_build(args) -> int:
+    from repro.cluster import build_cluster, save_cluster
+
+    records = load_records(args.input)
+    started = time.perf_counter()
+    router = build_cluster(
+        records,
+        n_shards=args.shards,
+        replication=args.replication,
+        n_vertical=args.vertical,
+        pivot_method=args.pivot_method,
+        pivot_seed=args.pivot_seed,
+    )
+    size = save_cluster(router, args.output)
+    wall = time.perf_counter() - started
+    report = router.plan.balance_report()
+    print(
+        f"sharded {len(records)} records into {router.n_shards} shards × "
+        f"{router.replication} replicas ({router.plan.n_fragments} fragments, "
+        f"planned-load cv {report.cv:.3f}) in {wall:.2f}s -> {args.output} "
+        f"({size / 1e6:.2f} MB)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cluster_search(args) -> int:
+    import json
+
+    from repro.cluster import load_cluster
+
+    tracer = Tracer() if args.trace else NOOP_TRACER
+    router = load_cluster(
+        args.cluster_dir,
+        tracer=tracer,
+        executor=None if args.executor == "serial" else args.executor,
+    )
+    func = SimilarityFunction(args.func)
+    if args.fail_shard is not None:
+        _fail_replica(router, args.fail_shard)
+
+    if args.query_file:
+        queries = [record.tokens for record in _read_query_file(args.query_file)]
+        results = router.search_batch(queries, args.theta, k=args.k, func=func)
+        document = {
+            "theta": args.theta,
+            "func": func.value,
+            "results": [
+                {"query": list(tokens), "hits": _hit_rows(hits)}
+                for tokens, hits in zip(queries, results)
+            ],
+        }
+    else:
+        if args.rid is not None:
+            tokens = _rid_tokens(router, args.rid)
+            hits = router.search_rid(args.rid, args.theta, k=args.k, func=func)
+        else:
+            tokens = args.query.split()
+            hits = router.search(tokens, args.theta, k=args.k, func=func)
+        document = {
+            "query": tokens,
+            "theta": args.theta,
+            "func": func.value,
+            "hits": _hit_rows(hits),
+        }
+    if args.trace:
+        document["latency"] = router.latency.snapshot()
+        _export_trace(tracer, args.trace)
+        _print_phase_breakdown(tracer)
+    print(json.dumps(document))
+    return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    import json
+
+    from repro.cluster import load_cluster
+
+    router = load_cluster(args.cluster_dir)
+    document = router.status()
+    document["records"] = len(router.rids())
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_cluster_serve_sim(args) -> int:
+    import json
+    import random
+
+    from repro.cluster import load_cluster
+
+    router = load_cluster(args.cluster_dir)
+    if args.fail_shard is not None:
+        _fail_replica(router, args.fail_shard)
+    func = SimilarityFunction(args.func)
+    rids = router.rids()
+    rng = random.Random(args.seed)
+    weights = [1.0 / (i + 1) ** args.zipf for i in range(len(rids))]
+    probe_rids = rng.choices(rids, weights=weights, k=args.probes)
+    tokens = {rid: router.tokens_of(rid) for rid in set(probe_rids)}
+
+    def replay() -> float:
+        started = time.perf_counter()
+        for rid in probe_rids:
+            router.search(tokens[rid], args.theta, func=func)
+        return time.perf_counter() - started
+
+    wall = replay()
+    before = router.heat_report()
+    document = {
+        "probes": args.probes,
+        "distinct_queries": len(tokens),
+        "zipf": args.zipf,
+        "wall_s": round(wall, 4),
+        "throughput_qps": round(args.probes / wall, 1) if wall else None,
+        "latency": router.latency.snapshot(),
+        "shard_heat": router.shard_heat(),
+        "heat_cv": round(before.cv, 4),
+        "heat_max_over_mean": round(before.max_over_mean, 4),
+        "route": router.metrics.group("cluster.route"),
+    }
+    if args.rebalance:
+        moves = router.rebalance(skew_threshold=args.skew_threshold)
+        router.reset_heat()
+        replay()
+        after = router.heat_report()
+        document["rebalance"] = {
+            "migrations": [
+                {"fragment": m.fragment, "src": m.src, "dst": m.dst,
+                 "heat": m.heat}
+                for m in moves
+            ],
+            "shard_heat_after": router.shard_heat(),
+            "heat_cv_after": round(after.cv, 4),
+            "heat_max_over_mean_after": round(after.max_over_mean, 4),
+        }
+    print(json.dumps(document))
+    return 0
+
+
+_CLUSTER_COMMANDS = {
+    "build": _cmd_cluster_build,
+    "search": _cmd_cluster_search,
+    "status": _cmd_cluster_status,
+    "serve-sim": _cmd_cluster_serve_sim,
+}
+
+
+def _cmd_cluster(args) -> int:
+    return _CLUSTER_COMMANDS[args.cluster_command](args)
 
 
 def _cmd_trace(args) -> int:
@@ -396,6 +673,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "index": _cmd_index,
     "search": _cmd_search,
+    "cluster": _cmd_cluster,
     "trace": _cmd_trace,
 }
 

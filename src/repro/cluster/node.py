@@ -1,0 +1,295 @@
+"""Shard-local state: a fragment-sliced index and the node that serves it.
+
+A :class:`ShardSlice` is a :class:`~repro.service.index.SegmentIndex`
+restricted to the fragments a shard owns: it keeps posting lists for owned
+fragments only, plus the *full* rank tuple and segment metadata of every
+record that posts into them — which is exactly what the StrL/SegL/SegI/SegD
+lemmas and the final verification need, so a slice evaluates its candidates
+with the unmodified single-node code path.
+
+The one thing a slice does differently is candidate *claiming*.  On a
+single node, a candidate's "first hit" is the globally smallest-rank common
+prefix token (Theorem 1: each pair is generated in exactly one fragment).
+Across shards the same pair would collide on several shards' fragments, so
+each slice applies the claim rule:
+
+    a slice claims candidate ``t`` iff the first common token between the
+    probe prefix and ``t`` lies in a fragment this slice owns.
+
+The rule is locally checkable — the slice holds ``t``'s full rank tuple, so
+it can test whether any *earlier* probed token from a foreign fragment is in
+``t`` — and it partitions every (query, candidate) pair to exactly one
+shard.  The claimed first-hit coordinates equal the single-node ones, so
+positional filtering, fragment lemmas and verification make identical
+per-pair decisions, and the union of per-shard hit lists is bit-identical
+to ``SegmentIndex.probe`` (``tests/test_cluster_router.py`` property-tests
+this, failure injection and rebalance included).
+
+A :class:`ShardNode` wraps one slice as a routable endpoint: replica
+identity, a liveness flag the failure injector flips, and per-node
+counters.  In this simulated cluster, replicas of one shard share the slice
+object (the data is read-only at serve time); a real deployment would give
+each replica its own copy restored from the same per-shard snapshot.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.config import FilterConfig
+from repro.errors import ClusterError, ShardDownError
+from repro.mapreduce.counters import Counters
+from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.service.index import (
+    EncodedQuery,
+    FirstHit,
+    Posting,
+    SearchHit,
+    SegmentIndex,
+    _bump,
+)
+from repro.similarity.functions import SimilarityFunction
+
+
+@dataclass
+class FragmentPayload:
+    """One fragment's shippable state (the unit a migration moves).
+
+    ``postings`` is the fragment's inverted lists; ``records`` carries the
+    full rank tuple + segment map of every record posting in the fragment,
+    because the receiving slice may not know those records yet.
+    """
+
+    fragment: int
+    postings: Dict[int, List[Posting]]
+    records: Dict[int, Tuple[Tuple[int, ...], Dict]]
+
+    def n_postings(self) -> int:
+        return sum(len(plist) for plist in self.postings.values())
+
+
+class ShardSlice(SegmentIndex):
+    """A SegmentIndex restricted to an owned set of fragments."""
+
+    def __init__(self, order, partitioner, pivot_method,
+                 owned: Iterable[int]) -> None:
+        super().__init__(order, partitioner, pivot_method)
+        self._owned: set = set(owned)
+        for v in self._owned:
+            if not 0 <= v < partitioner.n_partitions:
+                raise ClusterError(
+                    f"fragment {v} out of range for "
+                    f"{partitioner.n_partitions} partitions"
+                )
+
+    @property
+    def owned_fragments(self) -> FrozenSet[int]:
+        return frozenset(self._owned)
+
+    @classmethod
+    def carve(
+        cls, index: SegmentIndex, fragments: Iterable[int]
+    ) -> "ShardSlice":
+        """Slice a full index down to ``fragments``.
+
+        Postings are copied per owned fragment; record metadata (rank
+        tuples, segment maps) is shared with the source index — both are
+        immutable after insert, so sharing is safe and keeps an in-memory
+        cluster's footprint near one index's.
+        """
+        slice_ = cls(
+            index.order, index.partitioner, index.pivot_method, fragments
+        )
+        touched: set = set()
+        for v in slice_._owned:
+            source = index._postings[v]
+            slice_._postings[v] = {
+                token: list(plist) for token, plist in source.items()
+            }
+            for plist in source.values():
+                for rid, _pos in plist:
+                    touched.add(rid)
+        for rid in touched:
+            slice_._ranks[rid] = index._ranks[rid]
+            slice_._segments[rid] = index._segments[rid]
+        return slice_
+
+    # -- the claim rule ------------------------------------------------
+    def _candidates(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> Dict[int, FirstHit]:
+        """Candidates whose globally-first prefix collision is owned here.
+
+        Probe tokens arrive in ascending rank order (fragments are rank
+        ranges), so by the time an owned fragment's token is scanned,
+        ``foreign`` holds every smaller-rank probe token that lives on some
+        other shard.  A record containing one of those tokens collides
+        earlier on that other shard — it is that shard's candidate, not
+        ours — which makes the per-shard candidate sets disjoint and their
+        union exactly the single-node candidate set.
+        """
+        candidates: Dict[int, FirstHit] = {}
+        rejected: set = set()
+        foreign: List[int] = []
+        for v, token, qpos in self._probe_tokens(query, theta, func):
+            if v not in self._owned:
+                foreign.append(token)
+                continue
+            _bump(counters, "posting_lookups")
+            for rid, pos in self._postings[v].get(token, ()):
+                if rid in candidates or rid in rejected:
+                    continue
+                if foreign and _any_rank_present(foreign, self._ranks[rid]):
+                    rejected.add(rid)
+                    _bump(counters, "ceded_candidates")
+                else:
+                    candidates[rid] = (v, qpos, pos)
+        return candidates
+
+    def probe_batch(
+        self,
+        queries,
+        theta: float,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        filters: Optional[FilterConfig] = None,
+        counters: Optional[Counters] = None,
+        tracer: Tracer = NOOP_TRACER,
+    ):
+        """Per-query probes (the fragment-grouped fast path would bypass
+        the claim rule; a slice probes queries one by one instead)."""
+        return [
+            self.probe_encoded(query, theta, func, filters, counters, tracer)
+            for query in queries
+        ]
+
+    # -- lifecycle guards ----------------------------------------------
+    def apply_batch(self, new_records) -> int:
+        raise ClusterError(
+            "a shard slice cannot ingest records directly; apply the batch "
+            "to the full index and rebuild the cluster"
+        )
+
+    # -- fragment migration --------------------------------------------
+    def extract_fragment(self, fragment: int) -> FragmentPayload:
+        """Package one owned fragment for shipping to another shard."""
+        if fragment not in self._owned:
+            raise ClusterError(f"fragment {fragment} is not owned by this slice")
+        postings = {
+            token: list(plist)
+            for token, plist in self._postings[fragment].items()
+        }
+        records: Dict[int, Tuple[Tuple[int, ...], Dict]] = {}
+        for plist in postings.values():
+            for rid, _pos in plist:
+                if rid not in records:
+                    records[rid] = (self._ranks[rid], self._segments[rid])
+        return FragmentPayload(fragment, postings, records)
+
+    def install_fragment(self, payload: FragmentPayload) -> None:
+        """Adopt a migrated fragment (postings + any unseen record data)."""
+        if payload.fragment in self._owned:
+            raise ClusterError(
+                f"fragment {payload.fragment} is already owned by this slice"
+            )
+        self._owned.add(payload.fragment)
+        self._postings[payload.fragment] = {
+            token: list(plist) for token, plist in payload.postings.items()
+        }
+        for rid, (ranks, segments) in payload.records.items():
+            self._ranks.setdefault(rid, ranks)
+            self._segments.setdefault(rid, segments)
+
+    def drop_fragment(self, fragment: int) -> None:
+        """Release a migrated-away fragment and garbage-collect its records.
+
+        A record's metadata stays only while some *other* owned fragment
+        still posts it (its segment map tells us which fragments it
+        touches).
+        """
+        if fragment not in self._owned:
+            raise ClusterError(f"fragment {fragment} is not owned by this slice")
+        self._owned.discard(fragment)
+        departing = self._postings[fragment]
+        self._postings[fragment] = {}
+        for plist in departing.values():
+            for rid, _pos in plist:
+                if rid not in self._ranks:
+                    continue
+                if not any(v in self._owned for v in self._segments[rid]):
+                    del self._ranks[rid]
+                    del self._segments[rid]
+
+
+def _any_rank_present(ranks: List[int], t_ranks: Tuple[int, ...]) -> bool:
+    """True if any of ``ranks`` occurs in the sorted tuple ``t_ranks``."""
+    for rank in ranks:
+        i = bisect_left(t_ranks, rank)
+        if i < len(t_ranks) and t_ranks[i] == rank:
+            return True
+    return False
+
+
+class ShardNode:
+    """One routable replica of one shard."""
+
+    def __init__(self, shard_id: int, replica_id: int,
+                 slice_: ShardSlice) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.slice = slice_
+        self.alive = True
+        self.counters = Counters()
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard_id}/r{self.replica_id}"
+
+    # -- health --------------------------------------------------------
+    def fail(self) -> None:
+        """Injected failure: the node stops answering until restored."""
+        self.alive = False
+
+    def restore(self) -> None:
+        self.alive = True
+
+    def ping(self) -> bool:
+        """Health check: can this replica serve a probe right now?"""
+        return self.alive
+
+    # -- serving -------------------------------------------------------
+    def probe(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        filters: Optional[FilterConfig] = None,
+        tracer: Tracer = NOOP_TRACER,
+    ) -> List[SearchHit]:
+        """Serve one scatter leg; raises :class:`ShardDownError` if failed."""
+        if not self.alive:
+            raise ShardDownError(f"{self.name} is down")
+        self.counters.increment("cluster.node", "probes")
+        return self.slice.probe_encoded(
+            query, theta, func, filters, self.counters, tracer
+        )
+
+    def tokens_of(self, rid: int) -> Tuple[str, ...]:
+        if not self.alive:
+            raise ShardDownError(f"{self.name} is down")
+        return self.slice.tokens_of(rid)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.slice
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "DOWN"
+        return (
+            f"ShardNode({self.name}, {state}, "
+            f"fragments={sorted(self.slice.owned_fragments)})"
+        )

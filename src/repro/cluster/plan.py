@@ -1,0 +1,145 @@
+"""Fragment placement: assigning vertical fragments to shard nodes.
+
+FS-Join's pivots cut the token space into disjoint fragments, and a
+fragment is the natural unit of *placement*: its postings are
+self-contained (candidate generation in fragment ``v`` touches only
+fragment ``v``'s lists), so each fragment can live on exactly one shard
+and a probe scatters only to the shards its prefix fragments map to.
+
+Placement is a bin-packing problem — fragment posting loads are far from
+uniform once real token distributions meet Even-TF cuts — so
+:func:`plan_shards` runs the classic LPT greedy (largest fragment first,
+onto the currently lightest shard), which is a 4/3-approximation of the
+optimal makespan and, more importantly here, deterministic.  Balance is
+quantified with the same :func:`~repro.analysis.loadbalance.summarize_loads`
+skew metrics the offline analysis uses for reduce tasks, so "how skewed is
+this cluster" reads in the numbers the paper argues about (CV,
+max-over-mean straggler factor).
+
+A :class:`ShardPlan` is a value object: the router consults it for
+fragment → shard lookups, :meth:`ShardPlan.move` re-homes one fragment
+during a :meth:`~repro.cluster.router.ClusterRouter.rebalance`, and
+:meth:`as_dict`/:meth:`from_dict` round-trip it through the cluster
+manifest JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.loadbalance import LoadBalanceReport, summarize_loads
+from repro.errors import ClusterError, ConfigError
+
+
+@dataclass
+class ShardPlan:
+    """Assignment of every vertical fragment to one shard.
+
+    Attributes:
+        n_shards: Number of shard groups in the cluster.
+        assignment: ``fragment id → shard id`` for every fragment.
+        fragment_loads: ``fragment id → posting entries`` observed when the
+            plan was computed (the bin-packing weights; kept so status
+            reports and rebalance decisions can show planned vs observed).
+    """
+
+    n_shards: int
+    assignment: Dict[int, int]
+    fragment_loads: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError("a cluster needs at least one shard")
+        for fragment, shard in self.assignment.items():
+            if not 0 <= shard < self.n_shards:
+                raise ConfigError(
+                    f"fragment {fragment} assigned to shard {shard}, "
+                    f"valid shards are 0..{self.n_shards - 1}"
+                )
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.assignment)
+
+    def shard_of(self, fragment: int) -> int:
+        """The shard owning ``fragment``."""
+        try:
+            return self.assignment[fragment]
+        except KeyError:
+            raise ClusterError(f"no shard owns fragment {fragment}") from None
+
+    def fragments_of(self, shard: int) -> Tuple[int, ...]:
+        """Fragments owned by ``shard``, ascending (may be empty)."""
+        return tuple(
+            sorted(f for f, s in self.assignment.items() if s == shard)
+        )
+
+    def shard_loads(self, loads: Dict[int, int] = None) -> List[int]:
+        """Per-shard total load under ``loads`` (default: planned loads)."""
+        weights = self.fragment_loads if loads is None else loads
+        totals = [0] * self.n_shards
+        for fragment, shard in self.assignment.items():
+            totals[shard] += weights.get(fragment, 0)
+        return totals
+
+    def balance_report(self, loads: Dict[int, int] = None) -> LoadBalanceReport:
+        """Skew summary of the per-shard loads (CV, max-over-mean)."""
+        return summarize_loads(self.shard_loads(loads))
+
+    def move(self, fragment: int, to_shard: int) -> None:
+        """Re-home one fragment (the rebalancer's bookkeeping step)."""
+        if fragment not in self.assignment:
+            raise ClusterError(f"no shard owns fragment {fragment}")
+        if not 0 <= to_shard < self.n_shards:
+            raise ClusterError(
+                f"shard {to_shard} does not exist (0..{self.n_shards - 1})"
+            )
+        self.assignment[fragment] = to_shard
+
+    # -- manifest round-trip -------------------------------------------
+    def as_dict(self) -> Dict:
+        """JSON-safe form (dict keys become strings in JSON)."""
+        return {
+            "n_shards": self.n_shards,
+            "assignment": {str(f): s for f, s in self.assignment.items()},
+            "fragment_loads": {
+                str(f): n for f, n in self.fragment_loads.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "ShardPlan":
+        return cls(
+            n_shards=int(doc["n_shards"]),
+            assignment={int(f): int(s) for f, s in doc["assignment"].items()},
+            fragment_loads={
+                int(f): int(n) for f, n in doc.get("fragment_loads", {}).items()
+            },
+        )
+
+
+def plan_shards(fragment_loads: Sequence[int], n_shards: int) -> ShardPlan:
+    """Greedy LPT bin-packing of fragments onto shards.
+
+    Fragments are placed heaviest-first onto the currently lightest shard
+    (ties broken by lower fragment id / lower shard id, so the plan is a
+    pure function of the loads).  Empty shards are legal — with more
+    shards than fragments the extras simply receive no traffic.
+    """
+    if n_shards < 1:
+        raise ConfigError("a cluster needs at least one shard")
+    order = sorted(
+        range(len(fragment_loads)), key=lambda f: (-fragment_loads[f], f)
+    )
+    totals = [0] * n_shards
+    assignment: Dict[int, int] = {}
+    for fragment in order:
+        shard = min(range(n_shards), key=lambda s: (totals[s], s))
+        assignment[fragment] = shard
+        totals[shard] += fragment_loads[fragment]
+    return ShardPlan(
+        n_shards=n_shards,
+        assignment=assignment,
+        fragment_loads={f: int(n) for f, n in enumerate(fragment_loads)},
+    )

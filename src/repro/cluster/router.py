@@ -1,0 +1,472 @@
+"""Scatter-gather routing, admission control, failover and rebalancing.
+
+:class:`ClusterRouter` is the cluster's front door.  One ``search`` is:
+
+1. **Admission** — a bounded in-flight semaphore with a queue timeout;
+   when the cluster is saturated the request is shed with a typed
+   :class:`~repro.errors.ClusterOverloadError` instead of queueing
+   unboundedly (fail fast, the caller can retry elsewhere).
+2. **Routing** — the probe prefix is split at the shared pivots; only
+   shards owning at least one fragment the prefix touches are contacted
+   (V-SMART-Join's scatter discipline: never fan out to nodes that cannot
+   contribute a candidate).
+3. **Scatter** — each target shard is probed on one healthy replica
+   (round-robin across replicas; a replica that fails mid-probe is marked
+   dead and the next replica is tried — the failover path the chaos tests
+   exercise).  Legs run serially by default or fanned out on the thread
+   backend of :mod:`repro.mapreduce.executors`.
+4. **Gather** — per-shard hit lists are concatenated and sorted.  No
+   dedup pass is needed: the shard slices' claim rule (see
+   :mod:`repro.cluster.node`) assigns every (query, candidate) pair to
+   exactly one shard, the distributed form of the paper's Theorem 1, so
+   the merge is exact by construction.
+
+The router also keeps per-fragment *heat* counters (how many probes
+touched each fragment).  :meth:`rebalance` turns observed heat into
+placement: while the hottest shard exceeds ``skew_threshold`` times the
+mean, its hottest fragment migrates to the lightest shard — postings and
+record metadata ship peer-to-peer via
+:meth:`~repro.cluster.node.ShardSlice.extract_fragment` — and the plan is
+updated in place.  Search results are bit-identical before and after a
+migration (McCauley & Silvestri's adaptive-load argument, realised on the
+serving path).
+
+Every hop emits ``phase="cluster"`` spans (``cluster-search`` →
+``route``/``shard-probe``/``merge``), with the slices' own
+``phase="service"`` spans nested under each ``shard-probe``, so
+``repro trace`` renders the full cross-shard request tree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.loadbalance import LoadBalanceReport, summarize_loads
+from repro.core.config import FilterConfig
+from repro.core.ordering import GlobalOrder
+from repro.core.partitioning import VerticalPartitioner
+from repro.errors import (
+    ClusterError,
+    ClusterOverloadError,
+    ConfigError,
+    DataError,
+    ShardDownError,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.executors import ExecutorKind, create_executor
+from repro.observability.histogram import LatencyHistogram
+from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.service.index import EncodedQuery, SearchHit
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import prefix_length
+
+from repro.cluster.node import ShardNode
+from repro.cluster.plan import ShardPlan
+
+ROUTE_GROUP = "cluster.route"
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One rebalance move: fragment ``fragment`` went ``src`` → ``dst``."""
+
+    fragment: int
+    src: int
+    dst: int
+    heat: int
+    """Observed probe count that made the fragment migrate."""
+
+
+class ClusterRouter:
+    """Route exact similarity probes across a sharded, replicated cluster."""
+
+    def __init__(
+        self,
+        order: GlobalOrder,
+        partitioner: VerticalPartitioner,
+        plan: ShardPlan,
+        groups: Sequence[Sequence[ShardNode]],
+        filters: Optional[FilterConfig] = None,
+        max_in_flight: int = 64,
+        queue_timeout: float = 0.25,
+        tracer: Optional[Tracer] = None,
+        executor: Union[ExecutorKind, str, None] = None,
+    ) -> None:
+        """``groups[s]`` is shard ``s``'s replica list (all non-empty, same
+        length = the replication factor).  ``executor`` fans scatter legs
+        out (``thread``); the default probes shards serially in the calling
+        thread.  ``max_in_flight`` bounds concurrently admitted searches;
+        a request that cannot be admitted within ``queue_timeout`` seconds
+        is shed with :class:`ClusterOverloadError`."""
+        if len(groups) != plan.n_shards:
+            raise ConfigError(
+                f"plan expects {plan.n_shards} shards, got {len(groups)} groups"
+            )
+        if any(not group for group in groups):
+            raise ConfigError("every shard needs at least one replica")
+        if max_in_flight < 1:
+            raise ConfigError("max_in_flight must be >= 1")
+        if executor is not None and ExecutorKind(executor) is ExecutorKind.PROCESS:
+            raise ConfigError(
+                "scatter legs share in-memory shard state; use the serial or "
+                "thread backend"
+            )
+        self.order = order
+        self.partitioner = partitioner
+        self.plan = plan
+        self.filters = filters if filters is not None else FilterConfig()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = Counters()
+        self.latency = LatencyHistogram()
+        self._groups: List[List[ShardNode]] = [list(g) for g in groups]
+        self._executor = executor
+        self._admission = threading.BoundedSemaphore(max_in_flight)
+        self.queue_timeout = queue_timeout
+        self._lock = threading.Lock()
+        #: fragment id → probes that touched it (the rebalancer's heat map).
+        self._heat: Dict[int, int] = {}
+        #: per-shard round-robin cursors for replica selection.
+        self._cursor = [0] * plan.n_shards
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    @property
+    def replication(self) -> int:
+        return len(self._groups[0])
+
+    def replica(self, shard: int, replica: int) -> ShardNode:
+        """Direct handle on one replica (failure injection, inspection)."""
+        return self._groups[shard][replica]
+
+    def health_check(self) -> List[List[bool]]:
+        """Ping every replica; ``result[shard][replica]`` is liveness."""
+        return [[node.ping() for node in group] for group in self._groups]
+
+    def fragment_heat(self) -> Dict[int, int]:
+        """Observed per-fragment probe counts since start (or last reset)."""
+        with self._lock:
+            return dict(self._heat)
+
+    def shard_heat(self) -> List[int]:
+        """Observed per-shard probe load under the current assignment."""
+        heat = self.fragment_heat()
+        totals = [0] * self.n_shards
+        for fragment, count in heat.items():
+            totals[self.plan.shard_of(fragment)] += count
+        return totals
+
+    def heat_report(self) -> LoadBalanceReport:
+        """Skew summary of observed shard load (CV, max-over-mean)."""
+        return summarize_loads(self.shard_heat())
+
+    def reset_heat(self) -> None:
+        with self._lock:
+            self._heat.clear()
+
+    def status(self) -> Dict:
+        """One JSON-safe snapshot: plan, health, heat, balance."""
+        report = self.heat_report()
+        return {
+            "shards": self.n_shards,
+            "replication": self.replication,
+            "fragments": self.plan.n_fragments,
+            "assignment": {str(f): s for f, s in
+                           sorted(self.plan.assignment.items())},
+            "planned_loads": self.plan.shard_loads(),
+            "observed_heat": self.shard_heat(),
+            "heat_cv": round(report.cv, 4),
+            "heat_max_over_mean": round(report.max_over_mean, 4),
+            "health": self.health_check(),
+            "route": self.metrics.group(ROUTE_GROUP),
+        }
+
+    # -- query planning ------------------------------------------------
+    def encode_query(self, tokens: Iterable[str]) -> EncodedQuery:
+        """Canonicalize probe tokens exactly like the single-node index."""
+        unique = set(tokens)
+        ranks: List[int] = []
+        unknown = 0
+        for token in unique:
+            if self.order.knows(token):
+                ranks.append(self.order.rank(token))
+            else:
+                unknown += 1
+        ranks.sort()
+        return EncodedQuery(tuple(ranks), unknown)
+
+    def target_fragments(
+        self, query: EncodedQuery, theta: float, func: SimilarityFunction
+    ) -> Tuple[int, ...]:
+        """Fragments the probe prefix touches — the scatter set's support.
+
+        Only these fragments can produce a prefix collision, so shards
+        owning none of them are provably unable to contribute a candidate
+        and are never contacted.
+        """
+        if not query.ranks:
+            return ()
+        limit = min(prefix_length(func, theta, query.size), len(query.ranks))
+        prefix = query.ranks[:limit]
+        return tuple(v for v, _seg in self.partitioner.split(-1, prefix))
+
+    def _target_shards(
+        self, fragments: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        """Group target fragments by owning shard (ascending shard id)."""
+        targets: Dict[int, List[int]] = {}
+        for fragment in fragments:
+            targets.setdefault(self.plan.shard_of(fragment), []).append(fragment)
+        return dict(sorted(targets.items()))
+
+    # -- serving -------------------------------------------------------
+    def search(
+        self,
+        tokens: Iterable[str],
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        exclude: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """Exact cluster-wide search; same contract as
+        :meth:`repro.service.service.SimilarityService.search`."""
+        func = SimilarityFunction(func)
+        started = time.perf_counter()
+        if not self._admission.acquire(timeout=self.queue_timeout):
+            self.metrics.increment(ROUTE_GROUP, "shed")
+            raise ClusterOverloadError(
+                f"cluster at max in-flight capacity; request shed after "
+                f"{self.queue_timeout:.3f}s in queue"
+            )
+        try:
+            query = self.encode_query(tokens)
+            with self.tracer.span(
+                "cluster-search", phase="cluster", theta=theta,
+                func=func.value, query_size=query.size,
+            ) as span:
+                with self.tracer.span("route", phase="cluster") as route_span:
+                    fragments = self.target_fragments(query, theta, func)
+                    targets = self._target_shards(fragments)
+                    route_span.attrs["fragments"] = len(fragments)
+                    route_span.attrs["shards"] = sorted(targets)
+                self.metrics.increment(ROUTE_GROUP, "searches")
+                self.metrics.increment(ROUTE_GROUP, "shards_probed",
+                                       len(targets))
+                with self._lock:
+                    for fragment in fragments:
+                        self._heat[fragment] = self._heat.get(fragment, 0) + 1
+                partials = self._scatter(targets, query, theta, func)
+                with self.tracer.span("merge", phase="cluster") as merge_span:
+                    hits = _gather(partials)
+                    merge_span.attrs["hits"] = len(hits)
+                span.attrs["hits"] = len(hits)
+        finally:
+            self._admission.release()
+        self.latency.record(time.perf_counter() - started)
+        if exclude is not None:
+            hits = [hit for hit in hits if hit.rid != exclude]
+        if k is not None:
+            hits = hits[: max(k, 0)]
+        return hits
+
+    def search_rid(
+        self,
+        rid: int,
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+    ) -> List[SearchHit]:
+        """Partners of an indexed record (itself excluded)."""
+        return self.search(self.tokens_of(rid), theta, k=k, func=func,
+                           exclude=rid)
+
+    def search_batch(
+        self,
+        queries: Sequence[Iterable[str]],
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+    ) -> List[List[SearchHit]]:
+        """Convenience loop over :meth:`search` (admission per query)."""
+        return [self.search(q, theta, k=k, func=func) for q in queries]
+
+    def rids(self) -> List[int]:
+        """All record ids indexed anywhere in the cluster, ascending."""
+        seen: set = set()
+        for group in self._groups:
+            for node in group:
+                seen.update(node.slice.rids())
+                break  # replicas of one shard hold the same records
+        return sorted(seen)
+
+    def tokens_of(self, rid: int) -> Tuple[str, ...]:
+        """Decode an indexed record's tokens from whichever shard holds it."""
+        for group in self._groups:
+            for node in group:
+                if node.ping() and rid in node:
+                    return node.tokens_of(rid)
+        raise DataError(f"no record with id {rid} in the cluster")
+
+    # -- scatter internals ---------------------------------------------
+    def _scatter(
+        self,
+        targets: Dict[int, List[int]],
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+    ) -> List[List[SearchHit]]:
+        shards = list(targets)
+        if not shards:
+            return []
+        if self._executor is None or len(shards) == 1:
+            return [
+                self._probe_shard(shard, query, theta, func, self.tracer)
+                for shard in shards
+            ]
+        executor = create_executor(self._executor)
+        traced = self.tracer.enabled
+
+        def leg(shard: int):
+            tracer = Tracer() if traced else NOOP_TRACER
+            hits = self._probe_shard(shard, query, theta, func, tracer)
+            return hits, tracer.spans()
+
+        outputs = executor.run_tasks(leg, shards)
+        partials = []
+        # Adopted in shard-id order, like the runtime's task-index-order
+        # commit, so traces are deterministic across backends.
+        for hits, spans in outputs:
+            partials.append(hits)
+            self.tracer.adopt(spans)
+        return partials
+
+    def _probe_shard(
+        self,
+        shard: int,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        tracer: Tracer,
+    ) -> List[SearchHit]:
+        """Probe one healthy replica of ``shard``, failing over as needed."""
+        group = self._groups[shard]
+        with self._lock:
+            start = self._cursor[shard] % len(group)
+            self._cursor[shard] += 1
+        last_error: Optional[ShardDownError] = None
+        for offset in range(len(group)):
+            node = group[(start + offset) % len(group)]
+            if not node.ping():
+                continue
+            with tracer.span(
+                "shard-probe", phase="cluster", shard=shard,
+                replica=node.replica_id,
+            ) as span:
+                try:
+                    hits = node.probe(query, theta, func, self.filters, tracer)
+                except ShardDownError as exc:
+                    # Failed mid-probe (e.g. injected between ping and
+                    # probe): mark it dead and try the next replica.
+                    node.fail()
+                    span.attrs["status"] = "failed-over"
+                    self.metrics.increment(ROUTE_GROUP, "failovers")
+                    last_error = exc
+                    continue
+                span.attrs["hits"] = len(hits)
+                return hits
+        self.metrics.increment(ROUTE_GROUP, "unavailable")
+        raise ClusterError(
+            f"shard {shard}: all {len(group)} replicas down"
+            + (f" ({last_error})" if last_error else "")
+        )
+
+    # -- skew-aware rebalancing ----------------------------------------
+    def rebalance(
+        self, skew_threshold: float = 1.5, max_moves: int = 8
+    ) -> List[Migration]:
+        """Migrate hot fragments until observed shard load is balanced.
+
+        While the hottest shard's observed probe load exceeds
+        ``skew_threshold`` × the mean, its hottest fragment moves to the
+        currently coldest shard — but only when the move strictly lowers
+        the maximum (otherwise greedy migration would oscillate).  Returns
+        the migrations performed; search results are identical before and
+        after (the claim rule only depends on *which* shard owns a
+        fragment, not on history).
+        """
+        if skew_threshold < 1.0:
+            raise ConfigError("skew_threshold must be >= 1.0")
+        moves: List[Migration] = []
+        for _ in range(max_moves):
+            heat = self.fragment_heat()
+            loads = [0] * self.n_shards
+            for fragment, count in heat.items():
+                loads[self.plan.shard_of(fragment)] += count
+            report = summarize_loads(loads)
+            if report.mean_bytes == 0 or report.max_over_mean <= skew_threshold:
+                break
+            src = max(range(self.n_shards), key=lambda s: (loads[s], -s))
+            dst = min(range(self.n_shards), key=lambda s: (loads[s], s))
+            candidates = [
+                (heat.get(f, 0), -f, f)
+                for f in self.plan.fragments_of(src)
+            ]
+            move = None
+            for fragment_heat, _neg, fragment in sorted(candidates,
+                                                        reverse=True):
+                # The move must strictly improve the makespan: the donor
+                # sheds real load and the receiver stays below the old max.
+                if (fragment_heat > 0
+                        and loads[dst] + fragment_heat < loads[src]):
+                    move = (fragment, fragment_heat)
+                    break
+            if move is None:
+                break
+            fragment, fragment_heat = move
+            self._migrate(fragment, src, dst)
+            moves.append(Migration(fragment, src, dst, fragment_heat))
+            self.metrics.increment(ROUTE_GROUP, "migrations")
+        return moves
+
+    def _migrate(self, fragment: int, src: int, dst: int) -> None:
+        """Ship one fragment's postings + record metadata between shards.
+
+        Replicas of a shard may share one slice object (the in-memory
+        cluster) or hold their own copies (restored snapshots); migration
+        therefore applies to each *distinct* slice exactly once.
+        """
+        donor_slices = _distinct_slices(self._groups[src])
+        target_slices = _distinct_slices(self._groups[dst])
+        payload = donor_slices[0].extract_fragment(fragment)
+        for slice_ in target_slices:
+            slice_.install_fragment(payload)
+        for slice_ in donor_slices:
+            slice_.drop_fragment(fragment)
+        self.plan.move(fragment, dst)
+
+
+def _distinct_slices(group: Sequence[ShardNode]):
+    """A shard group's unique slice objects (replicas may share one)."""
+    seen: Dict[int, object] = {}
+    for node in group:
+        seen.setdefault(id(node.slice), node.slice)
+    return list(seen.values())
+
+
+def _gather(partials: List[List[SearchHit]]) -> List[SearchHit]:
+    """Merge per-shard hit lists: concatenate and sort, no dedup needed.
+
+    The claim rule makes shard results disjoint by record id, so the
+    gather step is a plain sort by ``(-score, rid)`` — the same final
+    order the single-node probe produces.
+    """
+    merged: List[SearchHit] = []
+    for hits in partials:
+        merged.extend(hits)
+    merged.sort(key=lambda hit: (-hit.score, hit.rid))
+    return merged

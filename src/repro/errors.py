@@ -30,3 +30,15 @@ class DFSError(ReproError):
 
 class SnapshotError(ReproError):
     """An index snapshot is missing, unreadable, or version-mismatched."""
+
+
+class ClusterError(ReproError):
+    """A serving-cluster operation failed (routing, placement, migration)."""
+
+
+class ShardDownError(ClusterError):
+    """A shard replica was probed while marked failed."""
+
+
+class ClusterOverloadError(ClusterError):
+    """Admission control shed the request (in-flight limit + queue timeout)."""

@@ -206,6 +206,14 @@ class SegmentIndex:
             raise DataError(f"no record with id {rid} in the index") from None
         return self.order.decode(ranks)
 
+    def fragment_loads(self) -> List[int]:
+        """Posting entries per fragment — the placement weights of
+        :func:`repro.cluster.plan.plan_shards` (and a direct view of how
+        evenly the pivots split the corpus)."""
+        return [
+            sum(len(plist) for plist in frag.values()) for frag in self._postings
+        ]
+
     def posting_stats(self) -> Dict[str, int]:
         """Aggregate index-shape numbers (for logs and benches)."""
         return {

@@ -1,9 +1,14 @@
-"""Index persistence: versioned snapshots with write-then-swap discipline.
+"""Index persistence: versioned, integrity-checked snapshots.
 
-A snapshot is a pickle of ``{"format", "version", "stats", "index"}``.
-The header is checked *before* the index is handed to the caller, so a
-foreign or stale file fails with a clear :class:`~repro.errors.SnapshotError`
-instead of an attribute error deep inside a probe.
+A snapshot is a pickle of ``{"format", "version", "stats", "digest",
+"index_bytes"}``: the index itself is pickled separately into
+``index_bytes`` and its sha256 digest stored alongside, so a bit-flipped or
+otherwise corrupted payload fails the digest check with a clear
+:class:`~repro.errors.SnapshotError` *before* the payload is unpickled —
+never a pickle crash deep inside ``loads`` and never a silently wrong
+index.  A truncated file fails the outer header parse the same way.
+Version-1 snapshots (no digest) still load, with a ``RuntimeWarning``
+recommending a re-save.
 
 Writes go to a temporary sibling file first and are atomically swapped
 into place with :func:`os.replace` — the same write-then-swap convention
@@ -14,8 +19,10 @@ name.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import Union
 
@@ -23,17 +30,26 @@ from repro.errors import SnapshotError
 from repro.service.index import SegmentIndex
 
 SNAPSHOT_FORMAT = "repro-segment-index"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+#: The digest-less layout still accepted (with a warning) by `load_index`.
+SNAPSHOT_VERSION_LEGACY = 1
+
+_PICKLE_ERRORS = (
+    pickle.UnpicklingError, EOFError, AttributeError, ImportError, IndexError,
+    KeyError, TypeError, ValueError,
+)
 
 
 def save_index(index: SegmentIndex, path: Union[str, Path]) -> int:
     """Persist ``index`` at ``path`` atomically; returns the byte size."""
     path = Path(path)
+    body = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
     payload = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
         "stats": index.posting_stats(),
-        "index": index,
+        "digest": hashlib.sha256(body).hexdigest(),
+        "index_bytes": body,
     }
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     tmp = path.with_name(path.name + ".tmp")
@@ -44,28 +60,56 @@ def save_index(index: SegmentIndex, path: Union[str, Path]) -> int:
 
 
 def load_index(path: Union[str, Path]) -> SegmentIndex:
-    """Load a snapshot, validating its format header and version."""
+    """Load a snapshot, validating format, version and integrity digest."""
     path = Path(path)
     try:
         with path.open("rb") as handle:
             payload = pickle.load(handle)
     except FileNotFoundError:
         raise SnapshotError(f"no snapshot at {path}") from None
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
-            IndexError) as exc:
-        raise SnapshotError(f"{path} is not a readable index snapshot: {exc}") from None
+    except _PICKLE_ERRORS as exc:
+        raise SnapshotError(
+            f"{path} is not a readable index snapshot: {exc}"
+        ) from None
     if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(
             f"{path} is not a {SNAPSHOT_FORMAT!r} snapshot"
         )
     version = payload.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version == SNAPSHOT_VERSION_LEGACY:
+        warnings.warn(
+            f"snapshot at {path} is version {SNAPSHOT_VERSION_LEGACY} and "
+            "carries no integrity digest; re-save it (service.save / "
+            "'repro index') to upgrade",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        index = payload.get("index")
+    elif version == SNAPSHOT_VERSION:
+        body = payload.get("index_bytes")
+        if not isinstance(body, bytes):
+            raise SnapshotError(f"snapshot at {path} carries no index payload")
+        digest = hashlib.sha256(body).hexdigest()
+        if digest != payload.get("digest"):
+            raise SnapshotError(
+                f"snapshot at {path} failed its integrity check "
+                f"(sha256 {digest[:12]}… != recorded "
+                f"{str(payload.get('digest'))[:12]}…) — the file is "
+                "corrupted; rebuild the index with 'repro index'"
+            )
+        try:
+            index = pickle.loads(body)
+        except _PICKLE_ERRORS as exc:
+            raise SnapshotError(
+                f"snapshot payload at {path} is unreadable despite a valid "
+                f"digest (written by an incompatible build?): {exc}"
+            ) from None
+    else:
         raise SnapshotError(
             f"snapshot version mismatch at {path}: file has {version!r}, "
             f"this build reads {SNAPSHOT_VERSION} — rebuild the index with "
             "'repro index'"
         )
-    index = payload.get("index")
     if not isinstance(index, SegmentIndex):
         raise SnapshotError(f"snapshot at {path} carries no index payload")
     return index

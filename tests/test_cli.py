@@ -253,6 +253,102 @@ class TestTrace:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCluster:
+    @pytest.fixture
+    def cluster_dir(self, corpus_file, tmp_path, capsys):
+        path = tmp_path / "corpus.cluster"
+        assert main(["cluster", "build", corpus_file, "--output", str(path),
+                     "--shards", "4", "--replication", "2",
+                     "--vertical", "8"]) == 0
+        err = capsys.readouterr().err
+        assert "sharded 80 records into 4 shards" in err
+        return str(path)
+
+    @pytest.fixture
+    def index_file(self, corpus_file, tmp_path, capsys):
+        path = tmp_path / "corpus.idx"
+        assert main(["index", corpus_file, "--output", str(path),
+                     "--vertical", "8"]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_search_matches_single_node(self, cluster_dir, index_file,
+                                        capsys):
+        assert main(["search", index_file, "--rid", "5",
+                     "--theta", "0.6"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["cluster", "search", cluster_dir, "--rid", "5",
+                     "--theta", "0.6"]) == 0
+        clustered = json.loads(capsys.readouterr().out)
+        assert clustered == single
+
+    def test_search_survives_replica_failure(self, cluster_dir, index_file,
+                                             capsys):
+        assert main(["search", index_file, "--rid", "5",
+                     "--theta", "0.6"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["cluster", "search", cluster_dir, "--rid", "5",
+                     "--theta", "0.6", "--fail-shard", "1"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == single
+        assert "injected failure" in captured.err
+
+    def test_search_trace_has_cluster_phase(self, cluster_dir, corpus_file,
+                                            tmp_path, capsys):
+        trace = tmp_path / "cluster.jsonl"
+        code = main(["cluster", "search", cluster_dir,
+                     "--query-file", corpus_file, "--theta", "0.6",
+                     "--trace", str(trace)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["latency"]["count"] >= 1
+        phases = {json.loads(line)["phase"]
+                  for line in trace.read_text().splitlines() if line}
+        assert {"cluster", "service"} <= phases
+
+    def test_status_document(self, cluster_dir, capsys):
+        assert main(["cluster", "status", cluster_dir]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shards"] == 4
+        assert doc["replication"] == 2
+        assert doc["records"] == 80
+        assert doc["health"] == [[True, True]] * 4
+
+    def test_serve_sim_with_rebalance(self, cluster_dir, capsys):
+        code = main(["cluster", "serve-sim", cluster_dir,
+                     "--probes", "40", "--zipf", "1.5", "--theta", "0.6",
+                     "--rebalance", "--skew-threshold", "1.0"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["probes"] == 40
+        assert doc["throughput_qps"] > 0
+        assert "rebalance" in doc
+        assert doc["rebalance"]["heat_cv_after"] <= doc["heat_cv"]
+
+    def test_serve_sim_deterministic(self, cluster_dir, capsys):
+        argv = ["cluster", "serve-sim", cluster_dir, "--probes", "20",
+                "--seed", "5"]
+        main(argv)
+        first = json.loads(capsys.readouterr().out)
+        main(argv)
+        second = json.loads(capsys.readouterr().out)
+        first.pop("wall_s"), second.pop("wall_s")
+        first.pop("throughput_qps"), second.pop("throughput_qps")
+        first.pop("latency"), second.pop("latency")
+        assert first == second
+
+    def test_fail_shard_out_of_range(self, cluster_dir, capsys):
+        code = main(["cluster", "search", cluster_dir, "--rid", "0",
+                     "--theta", "0.6", "--fail-shard", "9"])
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_missing_cluster_dir(self, tmp_path, capsys):
+        code = main(["cluster", "status", str(tmp_path / "nowhere")])
+        assert code == 1
+        assert "no cluster manifest" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_stats_file(self, capsys):
         code = main(["stats", "/nonexistent/path.txt"])
@@ -263,3 +359,36 @@ class TestErrors:
         code = main(["join", str(tmp_path / "missing.txt"), "--quiet"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    @pytest.fixture
+    def index_file(self, corpus_file, tmp_path, capsys):
+        path = tmp_path / "corpus.idx"
+        assert main(["index", corpus_file, "--output", str(path),
+                     "--vertical", "6"]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_search_unknown_rid(self, index_file, capsys):
+        code = main(["search", index_file, "--rid", "999", "--theta", "0.5"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: unknown --rid 999" in err
+        assert "Traceback" not in err
+
+    def test_search_missing_query_file(self, index_file, tmp_path, capsys):
+        code = main(["search", index_file, "--theta", "0.5",
+                     "--query-file", str(tmp_path / "absent.txt")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: cannot read query file" in err
+        assert "Traceback" not in err
+
+    def test_search_binary_query_file(self, index_file, tmp_path, capsys):
+        binary = tmp_path / "blob.bin"
+        binary.write_bytes(b"\xff\xfe\x00garbage\x80")
+        code = main(["search", index_file, "--theta", "0.5",
+                     "--query-file", str(binary)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "not readable UTF-8" in err
+        assert "Traceback" not in err

@@ -1,0 +1,158 @@
+"""Cluster persistence tests: build, manifest round-trip, failure modes."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.cluster import build_cluster, load_cluster, save_cluster
+from repro.cluster.build import MANIFEST_NAME
+from repro.errors import ClusterError, ConfigError, SnapshotError
+from repro.service.index import SegmentIndex
+from repro.service.snapshot import save_index
+from tests.conftest import random_collection
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_collection(80, vocab=50, max_len=15, seed=77)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return SegmentIndex.build(corpus, n_vertical=6)
+
+
+@pytest.fixture
+def saved(index, tmp_path):
+    router = build_cluster(index, n_shards=3, replication=2)
+    save_cluster(router, tmp_path / "cluster")
+    return router, tmp_path / "cluster"
+
+
+class TestBuild:
+    def test_from_corpus_or_index_equivalent(self, corpus, index):
+        from_corpus = build_cluster(corpus, n_shards=3, n_vertical=6)
+        from_index = build_cluster(index, n_shards=3)
+        for record in corpus[:20]:
+            assert from_corpus.search(record.tokens, 0.5) == \
+                from_index.search(record.tokens, 0.5)
+
+    def test_replicas_share_the_slice(self, index):
+        router = build_cluster(index, n_shards=2, replication=3)
+        for shard in range(2):
+            slices = {id(router.replica(shard, r).slice) for r in range(3)}
+            assert len(slices) == 1
+
+    def test_every_record_lands_somewhere(self, index, corpus):
+        router = build_cluster(index, n_shards=3)
+        assert router.rids() == [record.rid for record in corpus]
+
+
+class TestSaveLoad:
+    def test_roundtrip_is_bit_identical(self, saved, index, corpus):
+        router, directory = saved
+        restored = load_cluster(directory)
+        assert restored.n_shards == router.n_shards
+        assert restored.replication == router.replication
+        assert restored.plan == router.plan
+        for record in corpus:
+            for theta in (0.5, 0.8):
+                assert restored.search(record.tokens, theta) == \
+                    index.probe(record.tokens, theta)
+
+    def test_manifest_contents(self, saved):
+        router, directory = saved
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["format"] == "repro-cluster"
+        assert manifest["replication"] == 2
+        assert len(manifest["shards"]) == 3
+        for entry in manifest["shards"]:
+            assert (directory / entry["file"]).exists()
+            assert entry["fragments"] == sorted(
+                router.replica(entry["shard"], 0).slice.owned_fragments
+            )
+
+    def test_replication_override(self, saved):
+        _, directory = saved
+        restored = load_cluster(directory, replication=4)
+        assert restored.replication == 4
+        restored.replica(0, 3).fail()
+        assert restored.search(restored.tokens_of(0), 0.5)
+        with pytest.raises(ConfigError):
+            load_cluster(directory, replication=0)
+
+    def test_save_after_rebalance_roundtrips(self, index, tmp_path):
+        router = build_cluster(index, n_shards=3)
+        donor = max(range(3),
+                    key=lambda s: len(router.plan.fragments_of(s)))
+        with router._lock:
+            for fragment in router.plan.assignment:
+                router._heat[fragment] = 1
+            for fragment in router.plan.fragments_of(donor):
+                router._heat[fragment] = 50
+        assert router.rebalance(skew_threshold=1.0)
+        save_cluster(router, tmp_path / "rebalanced")
+        restored = load_cluster(tmp_path / "rebalanced")
+        assert restored.plan == router.plan
+        for rid in (0, 5, 11):
+            assert restored.search(restored.tokens_of(rid), 0.5) == \
+                index.probe(index.tokens_of(rid), 0.5)
+
+
+class TestLoadFailures:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ClusterError, match="no cluster manifest"):
+            load_cluster(tmp_path / "nowhere")
+
+    def test_corrupt_manifest(self, saved):
+        _, directory = saved
+        (directory / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ClusterError, match="unreadable cluster manifest"):
+            load_cluster(directory)
+
+    def test_wrong_manifest_format(self, saved):
+        _, directory = saved
+        (directory / MANIFEST_NAME).write_text(json.dumps({"format": "zip"}))
+        with pytest.raises(ClusterError, match="not a repro-cluster"):
+            load_cluster(directory)
+
+    def test_manifest_version_mismatch(self, saved):
+        _, directory = saved
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["version"] = 99
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ClusterError, match="version mismatch"):
+            load_cluster(directory)
+
+    def test_plain_index_snapshot_rejected(self, saved, index):
+        _, directory = saved
+        save_index(index, directory / "shard-000.idx")
+        with pytest.raises(ClusterError, match="plain index snapshot"):
+            load_cluster(directory)
+
+    def test_corrupted_shard_snapshot_fails_closed(self, saved):
+        # Snapshot integrity (the sha256 digest) must protect every shard
+        # file: flip one byte of the pickled slice and the load refuses.
+        _, directory = saved
+        path = directory / "shard-001.idx"
+        payload = pickle.loads(path.read_bytes())
+        body = bytearray(payload["index_bytes"])
+        body[len(body) // 2] ^= 0xFF
+        payload["index_bytes"] = bytes(body)
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(SnapshotError, match="integrity check"):
+            load_cluster(directory)
+
+    def test_manifest_snapshot_disagreement(self, saved):
+        _, directory = saved
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        a = manifest["shards"][0]["file"]
+        b = manifest["shards"][1]["file"]
+        manifest["shards"][0]["file"] = b
+        manifest["shards"][1]["file"] = a
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ClusterError, match="disagree"):
+            load_cluster(directory)

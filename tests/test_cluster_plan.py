@@ -1,0 +1,94 @@
+"""Tests for fragment placement: LPT bin-packing and the ShardPlan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.plan import ShardPlan, plan_shards
+from repro.errors import ClusterError, ConfigError
+
+
+class TestPlanShards:
+    def test_every_fragment_assigned_once(self):
+        plan = plan_shards([5, 3, 8, 1, 2, 9, 4, 7], n_shards=3)
+        assert sorted(plan.assignment) == list(range(8))
+        owned = [f for s in range(3) for f in plan.fragments_of(s)]
+        assert sorted(owned) == list(range(8))
+
+    def test_lpt_beats_round_robin_on_skewed_loads(self):
+        loads = [100, 1, 1, 1, 90, 1, 1, 80]
+        plan = plan_shards(loads, n_shards=3)
+        round_robin = [0] * 3
+        for f, load in enumerate(loads):
+            round_robin[f % 3] += load
+        assert max(plan.shard_loads()) <= max(round_robin)
+
+    def test_lpt_known_example(self):
+        # Classic LPT: 7,6,5,4 on 2 shards -> {7,4} vs {6,5} (11 vs 11).
+        plan = plan_shards([7, 6, 5, 4], n_shards=2)
+        assert sorted(plan.shard_loads()) == [11, 11]
+
+    def test_deterministic(self):
+        loads = [4, 4, 4, 4, 4]
+        assert plan_shards(loads, 2).assignment == plan_shards(loads, 2).assignment
+
+    def test_single_shard_owns_everything(self):
+        plan = plan_shards([3, 1, 2], n_shards=1)
+        assert plan.fragments_of(0) == (0, 1, 2)
+        assert plan.shard_loads() == [6]
+
+    def test_more_shards_than_fragments_leaves_empty_shards(self):
+        plan = plan_shards([5, 5], n_shards=4)
+        assert plan.n_shards == 4
+        non_empty = [s for s in range(4) if plan.fragments_of(s)]
+        assert len(non_empty) == 2
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_shards([1, 2], n_shards=0)
+
+
+class TestShardPlan:
+    @pytest.fixture
+    def plan(self):
+        return plan_shards([10, 20, 30, 40], n_shards=2)
+
+    def test_shard_of_and_fragments_of_agree(self, plan):
+        for fragment in range(4):
+            assert fragment in plan.fragments_of(plan.shard_of(fragment))
+
+    def test_shard_of_unknown_fragment(self, plan):
+        with pytest.raises(ClusterError):
+            plan.shard_of(99)
+
+    def test_balance_report_uses_planned_loads(self, plan):
+        report = plan.balance_report()
+        assert report.n_tasks == 2
+        assert report.total_bytes == 100
+
+    def test_balance_report_accepts_observed_loads(self, plan):
+        hot = {f: (1000 if plan.shard_of(f) == 0 else 0) for f in range(4)}
+        report = plan.balance_report(hot)
+        assert report.max_over_mean == 2.0
+
+    def test_move_rehomes_fragment(self, plan):
+        src = plan.shard_of(0)
+        dst = 1 - src
+        plan.move(0, dst)
+        assert plan.shard_of(0) == dst
+
+    def test_move_errors(self, plan):
+        with pytest.raises(ClusterError):
+            plan.move(99, 0)
+        with pytest.raises(ClusterError):
+            plan.move(0, 5)
+
+    def test_dict_roundtrip(self, plan):
+        clone = ShardPlan.from_dict(plan.as_dict())
+        assert clone == plan
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardPlan(n_shards=2, assignment={0: 5})
+        with pytest.raises(ConfigError):
+            ShardPlan(n_shards=0, assignment={})

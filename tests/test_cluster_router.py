@@ -1,0 +1,371 @@
+"""Cluster routing tests: exactness, failover, admission, rebalance.
+
+The load-bearing property (the PR's acceptance criterion) is
+*bit-identity*: for every query, :meth:`ClusterRouter.search` must return
+exactly what a single-node probe over the same index returns — same rids,
+same scores, same order — including with a replica failed and after a
+rebalance migration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import ClusterRouter, build_cluster
+from repro.errors import (
+    ClusterError,
+    ClusterOverloadError,
+    ConfigError,
+    DataError,
+)
+from repro.observability.tracer import Tracer
+from repro.service.index import SegmentIndex
+from repro.service.service import SimilarityService
+from repro.similarity.functions import SimilarityFunction
+from tests.conftest import random_collection
+
+THETAS = (0.5, 0.8)
+FUNCS = (SimilarityFunction.JACCARD, SimilarityFunction.COSINE)
+
+
+def inject_skew(router):
+    """Synthesize an observed-heat skew the rebalancer can always fix.
+
+    Organic traffic may spread heat evenly when a hot query's prefix
+    fragments happen to live on different shards; the rebalance tests are
+    about migration mechanics, so they plant the skew deterministically:
+    every fragment warm, one multi-fragment shard red-hot.
+    """
+    donor = max(range(router.n_shards),
+                key=lambda s: len(router.plan.fragments_of(s)))
+    with router._lock:
+        for fragment in router.plan.assignment:
+            router._heat[fragment] = 1
+        for fragment in router.plan.fragments_of(donor):
+            router._heat[fragment] = 50
+    return donor
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_collection(120, vocab=60, max_len=18, seed=1223)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return SegmentIndex.build(corpus, n_vertical=8)
+
+
+@pytest.fixture
+def cluster(index):
+    return build_cluster(index, n_shards=4, replication=2)
+
+
+def assert_parity(router, index, corpus, theta, func):
+    service = SimilarityService(index, cache_size=0)
+    for record in corpus:
+        expected = service.search(record.tokens, theta, func=func)
+        got = router.search(record.tokens, theta, func=func)
+        assert got == expected, (
+            f"rid={record.rid} theta={theta} func={func.value}"
+        )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("theta", THETAS)
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.value)
+    def test_matches_single_node(self, cluster, index, corpus, theta, func):
+        assert_parity(cluster, index, corpus, theta, func)
+
+    @pytest.mark.parametrize("theta", THETAS)
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.value)
+    def test_matches_under_replica_failure(self, cluster, index, corpus,
+                                           theta, func):
+        cluster.replica(1, 0).fail()
+        assert_parity(cluster, index, corpus, theta, func)
+        assert cluster.health_check()[1] == [False, True]
+
+    @pytest.mark.parametrize("theta", THETAS)
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.value)
+    def test_matches_after_rebalance(self, cluster, index, corpus, theta,
+                                     func):
+        inject_skew(cluster)
+        moves = cluster.rebalance(skew_threshold=1.0, max_moves=8)
+        assert moves, "planted skew should trigger at least one migration"
+        assert_parity(cluster, index, corpus, theta, func)
+
+    def test_novel_queries_match(self, cluster, index):
+        service = SimilarityService(index, cache_size=0)
+        queries = [
+            ["t000", "t001", "t002"],
+            ["t010", "t020", "t030", "t040", "t050"],
+            ["nope", "also-nope"],
+            [],
+        ]
+        for tokens in queries:
+            for theta in THETAS:
+                assert cluster.search(tokens, theta) == service.search(
+                    tokens, theta
+                )
+
+    def test_shard_results_are_disjoint(self, cluster, index, corpus):
+        # The claim rule's direct guarantee: no candidate is produced by
+        # two shards, so the gather needs no dedup.
+        for record in corpus[:25]:
+            query = cluster.encode_query(record.tokens)
+            fragments = cluster.target_fragments(
+                query, 0.5, SimilarityFunction.JACCARD
+            )
+            seen: set = set()
+            for shard, _frags in cluster._target_shards(fragments).items():
+                hits = cluster.replica(shard, 0).probe(
+                    query, 0.5, SimilarityFunction.JACCARD
+                )
+                rids = {hit.rid for hit in hits}
+                assert not (rids & seen)
+                seen |= rids
+            expected = {
+                hit.rid for hit in index.probe(record.tokens, 0.5)
+            }
+            assert seen == expected
+
+    def test_search_rid_excludes_self(self, cluster, index):
+        service = SimilarityService(index, cache_size=0)
+        for rid in (0, 7, 42):
+            got = cluster.search_rid(rid, 0.5)
+            assert all(hit.rid != rid for hit in got)
+            assert got == service.search_rid(rid, 0.5)
+
+    def test_k_truncates(self, cluster):
+        full = cluster.search(cluster.tokens_of(0), 0.3)
+        assert cluster.search(cluster.tokens_of(0), 0.3, k=2) == full[:2]
+
+    def test_search_batch(self, cluster, index):
+        service = SimilarityService(index, cache_size=0)
+        queries = [cluster.tokens_of(rid) for rid in (0, 1, 2)]
+        assert cluster.search_batch(queries, 0.6) == service.search_batch(
+            queries, 0.6
+        )
+
+    def test_thread_executor_matches_serial(self, index, corpus):
+        threaded = build_cluster(index, n_shards=4, replication=1,
+                                 executor="thread")
+        serial = build_cluster(index, n_shards=4, replication=1)
+        for record in corpus[:30]:
+            assert threaded.search(record.tokens, 0.5) == serial.search(
+                record.tokens, 0.5
+            )
+
+
+class TestRouting:
+    def test_scatter_skips_non_target_shards(self, cluster):
+        # A one-token query touches one fragment, hence one shard.
+        token = cluster.tokens_of(0)[0]
+        query = cluster.encode_query([token])
+        fragments = cluster.target_fragments(
+            query, 0.9, SimilarityFunction.JACCARD
+        )
+        assert len(fragments) == 1
+        target = cluster.plan.shard_of(fragments[0])
+        cluster.search([token], 0.9)
+        for shard in range(cluster.n_shards):
+            probes = sum(
+                cluster.replica(shard, r).counters.get(
+                    "cluster.node", "probes")
+                for r in range(cluster.replication)
+            )
+            assert probes == (1 if shard == target else 0)
+
+    def test_unknown_tokens_probe_nothing(self, cluster):
+        assert cluster.search(["never-indexed"], 0.5) == []
+        assert cluster.metrics.get("cluster.route", "shards_probed") == 0
+
+    def test_rids_and_tokens_of(self, cluster, corpus):
+        assert cluster.rids() == [record.rid for record in corpus]
+        assert set(cluster.tokens_of(5)) == set(corpus[5].tokens)
+        with pytest.raises(DataError):
+            cluster.tokens_of(10_000)
+
+    def test_heat_accounting(self, cluster):
+        cluster.search(cluster.tokens_of(0), 0.5)
+        assert sum(cluster.fragment_heat().values()) > 0
+        assert sum(cluster.shard_heat()) == sum(
+            cluster.fragment_heat().values()
+        )
+        cluster.reset_heat()
+        assert cluster.fragment_heat() == {}
+
+    def test_status_shape(self, cluster):
+        cluster.search(cluster.tokens_of(0), 0.5)
+        status = cluster.status()
+        assert status["shards"] == 4
+        assert status["replication"] == 2
+        assert status["fragments"] == cluster.plan.n_fragments
+        assert len(status["health"]) == 4
+        assert status["route"]["searches"] == 1
+
+    def test_config_validation(self, index):
+        router = build_cluster(index, n_shards=2)
+        with pytest.raises(ConfigError):
+            ClusterRouter(router.order, router.partitioner, router.plan,
+                          groups=[[]] * 2)
+        with pytest.raises(ConfigError):
+            ClusterRouter(router.order, router.partitioner, router.plan,
+                          groups=[router._groups[0]])
+        with pytest.raises(ConfigError):
+            build_cluster(index, n_shards=2, max_in_flight=0)
+        with pytest.raises(ConfigError):
+            build_cluster(index, n_shards=2, executor="process")
+        with pytest.raises(ConfigError):
+            build_cluster(index, n_shards=2, replication=0)
+
+
+class TestAdmissionControl:
+    def test_sheds_when_saturated(self, index):
+        router = build_cluster(index, n_shards=2, max_in_flight=1,
+                               queue_timeout=0.01)
+        assert router._admission.acquire(timeout=1)  # occupy the only slot
+        try:
+            with pytest.raises(ClusterOverloadError):
+                router.search(router.tokens_of(0), 0.5)
+        finally:
+            router._admission.release()
+        assert router.metrics.get("cluster.route", "shed") == 1
+        # Capacity released: the next request is served normally.
+        assert router.search(router.tokens_of(0), 0.3)
+
+    def test_concurrent_searches_within_capacity(self, index):
+        router = build_cluster(index, n_shards=2, max_in_flight=8,
+                               executor="thread")
+        errors: list = []
+
+        def worker():
+            try:
+                router.search(router.tokens_of(0), 0.5)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+def _query_routed_at(router, shard):
+    """Tokens of some indexed record whose scatter set includes ``shard``."""
+    owned = set(router.plan.fragments_of(shard))
+    for rid in router.rids():
+        tokens = router.tokens_of(rid)
+        query = router.encode_query(tokens)
+        targets = router.target_fragments(
+            query, 0.3, SimilarityFunction.JACCARD
+        )
+        if owned & set(targets):
+            return tokens
+    pytest.fail(f"no query routed to shard {shard}")
+
+
+class TestFailover:
+    def test_dead_replica_skipped(self, cluster):
+        cluster.replica(0, 0).fail()
+        for record_tokens in (cluster.tokens_of(0), cluster.tokens_of(1)):
+            assert isinstance(cluster.search(record_tokens, 0.3), list)
+        assert cluster.replica(0, 0).counters.get(
+            "cluster.node", "probes") == 0
+
+    def test_mid_probe_failure_fails_over(self, cluster, index):
+        # The replica answers the health check but dies on probe — the
+        # router must mark it dead, count a failover and still answer.
+        tokens = _query_routed_at(cluster, shard=0)
+        node = cluster.replica(0, 0)
+        node.alive = False
+        node.ping = lambda: True  # lies to the health check
+        expected = index.probe(tokens, 0.3)
+        for _ in range(2 * cluster.replication):
+            assert cluster.search(tokens, 0.3) == expected
+        assert cluster.metrics.get("cluster.route", "failovers") >= 1
+        assert node.counters.get("cluster.node", "probes") == 0
+
+    def test_all_replicas_down_raises(self, cluster):
+        for r in range(cluster.replication):
+            cluster.replica(0, r).fail()
+        tokens = _query_routed_at(cluster, shard=0)
+        with pytest.raises(ClusterError, match="replicas down"):
+            cluster.search(tokens, 0.3)
+        assert cluster.metrics.get("cluster.route", "unavailable") == 1
+
+    def test_restore_brings_replica_back(self, cluster):
+        node = cluster.replica(2, 1)
+        node.fail()
+        assert cluster.health_check()[2][1] is False
+        node.restore()
+        assert cluster.health_check()[2][1] is True
+
+
+class TestRebalance:
+    def test_noop_when_balanced(self, cluster):
+        assert cluster.rebalance() == []
+
+    def test_migrations_cool_the_hot_shard(self, cluster):
+        inject_skew(cluster)
+        before = cluster.heat_report().max_over_mean
+        moves = cluster.rebalance(skew_threshold=1.0)
+        after = cluster.heat_report().max_over_mean
+        assert moves
+        assert after < before
+        for move in moves:
+            assert cluster.plan.shard_of(move.fragment) == move.dst
+            assert move.heat > 0
+        assert cluster.metrics.get("cluster.route", "migrations") == len(moves)
+
+    def test_migration_moves_postings_between_slices(self, cluster, index):
+        inject_skew(cluster)
+        moves = cluster.rebalance(skew_threshold=1.0)
+        assert moves
+        move = moves[0]
+        donor = cluster.replica(move.src, 0).slice
+        receiver = cluster.replica(move.dst, 0).slice
+        assert move.fragment not in donor.owned_fragments
+        assert move.fragment in receiver.owned_fragments
+        assert not donor._postings[move.fragment]
+
+    def test_threshold_validation(self, cluster):
+        with pytest.raises(ConfigError):
+            cluster.rebalance(skew_threshold=0.5)
+
+
+class TestTracing:
+    def test_span_tree(self, index):
+        tracer = Tracer()
+        router = build_cluster(index, n_shards=4, replication=1,
+                               tracer=tracer)
+        router.search(router.tokens_of(0), 0.5)
+        spans = tracer.spans()
+        names = {span.name for span in spans}
+        assert {"cluster-search", "route", "merge", "shard-probe"} <= names
+        phases = {span.phase for span in spans}
+        assert {"cluster", "service"} <= phases
+        root = next(s for s in spans if s.name == "cluster-search")
+        children = [s for s in spans if s.parent_id == root.span_id]
+        assert {"route", "merge"} <= {s.name for s in children}
+
+    def test_traced_equals_untraced(self, index, corpus):
+        traced = build_cluster(index, n_shards=4, tracer=Tracer())
+        plain = build_cluster(index, n_shards=4)
+        for record in corpus[:20]:
+            assert traced.search(record.tokens, 0.5) == plain.search(
+                record.tokens, 0.5
+            )
+
+    def test_thread_scatter_traces_deterministically(self, index):
+        tracer = Tracer()
+        router = build_cluster(index, n_shards=4, tracer=tracer,
+                               executor="thread")
+        router.search(router.tokens_of(0), 0.3)
+        probes = [s for s in tracer.spans() if s.name == "shard-probe"]
+        shards = [s.attrs["shard"] for s in probes]
+        assert shards == sorted(shards)

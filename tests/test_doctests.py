@@ -6,12 +6,14 @@ import doctest
 
 import pytest
 
+import repro.cluster
 import repro.core.fsjoin
 import repro.core.incremental
 import repro.core.rsjoin
 import repro.rdd.context
 
 MODULES = [
+    repro.cluster,
     repro.core.fsjoin,
     repro.core.incremental,
     repro.core.rsjoin,

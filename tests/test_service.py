@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError, DataError, SnapshotError
 from repro.data.records import Record
@@ -15,7 +18,11 @@ from repro.service import (
     load_index,
     save_index,
 )
-from repro.service.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_LEGACY,
+)
 from tests.conftest import random_collection
 
 CACHE = "service.cache"
@@ -225,3 +232,118 @@ class TestSnapshot:
         )
         with pytest.raises(SnapshotError, match="payload"):
             load_index(path)
+
+
+class TestSnapshotIntegrity:
+    """Corruption coverage for the digest-carrying v2 snapshot layout."""
+
+    def test_truncated_file(self, service, tmp_path):
+        path = tmp_path / "cut.idx"
+        size = save_index(service.index, path)
+        path.write_bytes(path.read_bytes()[: size // 2])
+        with pytest.raises(SnapshotError, match="not a readable"):
+            load_index(path)
+
+    def test_flipped_byte_fails_digest_check(self, service, tmp_path):
+        path = tmp_path / "flip.idx"
+        save_index(service.index, path)
+        doc = pickle.loads(path.read_bytes())
+        body = bytearray(doc["index_bytes"])
+        body[len(body) // 2] ^= 0x01
+        doc["index_bytes"] = bytes(body)
+        path.write_bytes(pickle.dumps(doc))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "integrity check" in message
+        assert "repro index" in message
+
+    def test_non_bytes_body_rejected(self, service, tmp_path):
+        path = tmp_path / "odd.idx"
+        save_index(service.index, path)
+        doc = pickle.loads(path.read_bytes())
+        doc["index_bytes"] = "a string, not bytes"
+        path.write_bytes(pickle.dumps(doc))
+        with pytest.raises(SnapshotError, match="no index payload"):
+            load_index(path)
+
+    def test_valid_digest_wrong_object(self, tmp_path):
+        # A consistent digest over a body that isn't a SegmentIndex must
+        # still fail closed (the digest authenticates bytes, not meaning).
+        path = tmp_path / "list.idx"
+        body = pickle.dumps(["not", "an", "index"])
+        path.write_bytes(pickle.dumps({
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "stats": {},
+            "digest": hashlib.sha256(body).hexdigest(),
+            "index_bytes": body,
+        }))
+        with pytest.raises(SnapshotError, match="no index payload"):
+            load_index(path)
+
+    def test_valid_digest_unpicklable_body(self, tmp_path):
+        path = tmp_path / "mangled.idx"
+        body = b"\x80\x04 not a pickle stream"
+        path.write_bytes(pickle.dumps({
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "stats": {},
+            "digest": hashlib.sha256(body).hexdigest(),
+            "index_bytes": body,
+        }))
+        with pytest.raises(SnapshotError, match="despite a valid digest"):
+            load_index(path)
+
+    def test_legacy_v1_loads_with_warning(self, service, corpus, tmp_path):
+        path = tmp_path / "v1.idx"
+        path.write_bytes(pickle.dumps({
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION_LEGACY,
+            "stats": service.index.posting_stats(),
+            "index": service.index,
+        }))
+        with pytest.warns(RuntimeWarning, match="no integrity digest"):
+            index = load_index(path)
+        for record in corpus[:5]:
+            assert index.probe(record.tokens, 0.6) == service.index.probe(
+                record.tokens, 0.6
+            )
+
+    def test_current_snapshots_load_without_warning(self, service, tmp_path):
+        import warnings
+
+        path = tmp_path / "v2.idx"
+        save_index(service.index, path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load_index(path)
+
+    @settings(
+        max_examples=25, deadline=None,
+        # tmp_path is reused across examples; each example writes its own
+        # snapshot file, so the shared directory is harmless.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        token_lists=st.lists(
+            st.lists(
+                st.sampled_from([f"w{i}" for i in range(30)]),
+                min_size=1, max_size=8, unique=True,
+            ),
+            min_size=1, max_size=12,
+        ),
+        n_vertical=st.integers(min_value=1, max_value=6),
+    )
+    def test_roundtrip_property(self, token_lists, n_vertical, tmp_path):
+        # Any index survives a save/load cycle with identical probes.
+        from repro.data.records import RecordCollection
+
+        records = RecordCollection.from_token_lists(token_lists)
+        index = SegmentIndex.build(records, n_vertical=n_vertical)
+        path = tmp_path / "prop.idx"
+        save_index(index, path)
+        reloaded = load_index(path)
+        assert reloaded.posting_stats() == index.posting_stats()
+        for tokens in token_lists:
+            assert reloaded.probe(tokens, 0.5) == index.probe(tokens, 0.5)
