@@ -1,0 +1,489 @@
+"""Chaos scenarios: inject scheduled faults, then prove the system recovered.
+
+Each scenario runs one layer of the stack under a seeded
+:class:`~repro.chaos.schedule.FaultSchedule` and checks the robustness
+contract the repo promises:
+
+    under injected faults, a run either produces **bit-identical** results
+    to its fault-free twin, or fails with a **typed**
+    :class:`~repro.errors.ReproError` (or an explicitly ``complete=False``
+    partial result) — silent corruption and silently missing output are
+    the only unacceptable outcomes.
+
+* :func:`run_join_scenario` — the MapReduce pipeline: task attempts die
+  and straggle (speculative execution races the stragglers), then the
+  driver is killed mid-pipeline at a scheduled DFS write and one surviving
+  checkpoint is corrupted in place; a ``resume=True`` re-run must skip the
+  digest-valid checkpoints, re-run the corrupted job, and produce exactly
+  the fault-free pairs.
+* :func:`run_cluster_scenario` — the serving cluster: a replica flaps
+  (fails probes until its circuit breaker opens, then heals); every search
+  during and after the flap must equal the single-node index's answer, the
+  breaker must open *and* close again (the rejoin), and with a whole shard
+  down ``search`` must fail typed while ``search_partial`` must flag its
+  answer incomplete and name the missing fragments.
+* :func:`run_search_scenario` — the service layer: a snapshot corrupted on
+  disk must fail closed with a typed error on load, and a request that
+  overruns its deadline (latency injected on the chaos clock) must raise
+  :class:`~repro.errors.DeadlineExceededError` rather than return late.
+
+:func:`run_recovery_report` chains all three into the
+:class:`RecoveryReport` the ``repro chaos`` CLI prints.  Everything is a
+pure function of the seed: the same seed replays the same faults, the
+same recoveries, the same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.schedule import ChaosClock, ChaosConfig, FaultInjector, FaultSchedule
+from repro.cluster import BreakerConfig, RetryPolicy, build_cluster
+from repro.core import FSJoin, FSJoinConfig
+from repro.data import make_corpus
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    DeadlineExceededError,
+    DFSError,
+    ReproError,
+    SnapshotError,
+)
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.service import SegmentIndex, SimilarityService, load_index, save_index
+from repro.similarity.functions import SimilarityFunction
+
+#: DFS path whose read the join scenario's driver kill is armed on — the
+#: verification job's input, so the kill lands *between* jobs 2 and 3.
+KILL_POINT = ("read", "fsjoin/partial-counts")
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one chaos scenario."""
+
+    scenario: str
+    seed: int
+    matched: bool
+    """Did the chaos run's output equal the fault-free run's, bit for bit?"""
+    error: Optional[str] = None
+    """Typed error name when the run failed closed instead of recovering."""
+    faults: Dict[str, int] = field(default_factory=dict)
+    """Injected faults by kind (driver-side injections)."""
+    recovery: Dict[str, int] = field(default_factory=dict)
+    """Observed recovery actions by kind (retries, speculative wins,
+    resume skips, failovers, breaker transitions...)."""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The contract held: recovered exactly, or failed typed."""
+        return self.matched or self.error is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "matched": self.matched,
+            "error": self.error,
+            "faults": dict(self.faults),
+            "recovery": dict(self.recovery),
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """All scenarios for one seed — what ``repro chaos`` prints."""
+
+    seed: int
+    scenarios: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(scenario.ok for scenario in self.scenarios)
+
+    def total_faults(self) -> int:
+        return sum(sum(s.faults.values()) for s in self.scenarios)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "faults_injected": self.total_faults(),
+            "scenarios": [scenario.as_dict() for scenario in self.scenarios],
+        }
+
+
+def _recovery_from_spans(tracer: Tracer, mark: int) -> Dict[str, int]:
+    """Count ``phase="recovery"`` spans since ``mark`` by their action."""
+    counts: Dict[str, int] = {}
+    for span in tracer.spans_since(mark):
+        if span.phase == "recovery":
+            action = span.attrs.get("action", span.name)
+            counts[action] = counts.get(action, 0) + 1
+    return counts
+
+
+def run_join_scenario(
+    seed: int,
+    theta: float = 0.7,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    executor: str = "serial",
+    n_records: int = 120,
+    config: Optional[ChaosConfig] = None,
+    straggler_threshold: float = 0.1,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Kill, corrupt and straggle the FS-Join pipeline; resume must heal it.
+
+    Timeline (all from the seed): run 1 executes under task failures and
+    stragglers with speculative execution on, and is driver-killed at the
+    verify job's input read — after the ordering and filter checkpoints
+    are durable.  The filter checkpoint is then corrupted in place
+    (silent bit rot).  Run 2 (``resume=True``) must skip only the
+    digest-valid ordering checkpoint, re-run the corrupted filter job,
+    and finish with pairs bit-identical to a fault-free run.
+    """
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    chaos = config if config is not None else ChaosConfig(
+        task_failure_rate=0.12, straggler_rate=0.2, straggler_delay=0.3
+    )
+    schedule = FaultSchedule(seed, chaos)
+    records = make_corpus("wiki", n_records, seed=seed % 997)
+    join_config = FSJoinConfig(theta=theta, func=func)
+
+    # The fault-free twin every comparison is against.
+    baseline = FSJoin(join_config).run(records)
+
+    injector = FaultInjector(schedule, tracer)
+    dfs = injector.attach_dfs(InMemoryDFS())
+    injector.schedule_kill(*KILL_POINT)
+    mr_cluster = SimulatedCluster(
+        ClusterSpec(executor=executor),
+        failure_injector=schedule.task_failure,
+        straggler_injector=schedule.straggler,
+        speculative=True,
+        straggler_threshold=straggler_threshold,
+        tracer=tracer,
+    )
+    join = FSJoin(join_config, mr_cluster, dfs=dfs)
+    mark = tracer.mark()
+
+    detail: Dict[str, Any] = {}
+    try:
+        join.run(records)
+        detail["first_run"] = "completed"  # kill point not reached (unexpected)
+    except DFSError:
+        detail["first_run"] = "killed mid-pipeline"
+    except ReproError as exc:
+        # e.g. a task exhausted its retry budget under a harsh schedule —
+        # a typed failure, and the resume below still gets its chance.
+        detail["first_run"] = f"failed typed: {type(exc).__name__}"
+
+    if dfs.exists("fsjoin/ckpt/filter"):
+        injector.corrupt(dfs, "fsjoin/ckpt/filter")
+
+    matched = False
+    error = None
+    try:
+        result = join.run(records, resume=True)
+        detail["resumed_jobs"] = list(result.resumed_jobs)
+        matched = (
+            result.result_pairs == baseline.result_pairs
+            and result.result_set() == baseline.result_set()
+        )
+        counters = result.counters().as_dict().get("mapreduce", {})
+        recovery = _recovery_from_spans(tracer, mark)
+        for key, value in counters.items():
+            if "retries" in key or "speculative" in key:
+                recovery[key] = recovery.get(key, 0) + value
+        detail["pairs"] = len(result.pairs)
+    except ReproError as exc:
+        error = type(exc).__name__
+        detail["resume_error"] = str(exc)
+        recovery = _recovery_from_spans(tracer, mark)
+
+    return ScenarioReport(
+        scenario="join",
+        seed=seed,
+        matched=matched,
+        error=error,
+        faults=injector.report(),
+        recovery=recovery,
+        detail=detail,
+    )
+
+
+def run_cluster_scenario(
+    seed: int,
+    theta: float = 0.6,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 100,
+    n_shards: int = 4,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Flap a replica and down a shard; routing must absorb both.
+
+    Phase 1 — *flap*: replica 0 of shard 0 fails its next probes (seeded
+    count, at least the breaker threshold), so the router fails over,
+    trips the breaker open, and — once the chaos clock passes the reset
+    timeout — rejoins the healed replica through a half-open trial.
+    Every search result is compared to the single-node index's answer.
+
+    Phase 2 — *shard down*: every replica of one shard is stopped;
+    ``search`` must raise a typed :class:`ClusterError` and
+    ``search_partial`` must return ``complete=False`` naming the missing
+    fragments.  After restore, full answers must come back.
+    """
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig())
+    records = make_corpus("wiki", n_records, seed=seed % 991)
+    index = SegmentIndex.build(records, n_vertical=12)
+    clock = ChaosClock()
+    injector = FaultInjector(schedule, tracer, clock)
+    breaker = BreakerConfig(failure_threshold=2, reset_timeout=1.0)
+    router = build_cluster(
+        index,
+        n_shards=n_shards,
+        replication=2,
+        tracer=tracer,
+        retry=RetryPolicy(max_retries=1, base_delay=0.01, seed=seed),
+        breaker=breaker,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    mark = tracer.mark()
+
+    queries = [records[i].tokens for i in range(0, len(records), 7)]
+    # The flap victim is a shard queries[0] provably routes to, so every
+    # flap-phase probe actually exercises the broken replica.
+    flap_tokens = queries[0]
+    flap_targets = router.target_fragments(
+        router.encode_query(flap_tokens), theta, func
+    )
+    victim_shard = router.plan.shard_of(flap_targets[0]) if flap_targets else 0
+    victim = router.replica(victim_shard, 0)
+    injector.crash_replica(victim, probes=breaker.failure_threshold)
+
+    # Flap phase: with replica 0 crashed and round-robin rotation, two
+    # full rotations burn the crash budget and trip the breaker open;
+    # after the reset timeout the healed replica's half-open trial closes
+    # it again.  Every answer along the way must stay exact.
+    expected_flap = index.probe(flap_tokens, theta, func)
+    mismatches = 0
+    for _ in range(2 * router.replication):
+        if router.search(flap_tokens, theta, func=func) != expected_flap:
+            mismatches += 1
+    clock.advance(breaker.reset_timeout)
+    for _ in range(router.replication):
+        if router.search(flap_tokens, theta, func=func) != expected_flap:
+            mismatches += 1
+
+    breaker_stats = router.breaker(victim_shard, 0).transitions
+    detail: Dict[str, Any] = {
+        "victim": victim.name,
+        "victim_breaker": dict(breaker_stats),
+        "victim_tripped": breaker_stats["opened"] >= 1,
+        "victim_rejoined": breaker_stats["closed"] >= 1,
+    }
+
+    # Correctness sweep with the cluster healed: broad query coverage.
+    for tokens in queries:
+        if router.search(tokens, theta, func=func) != index.probe(
+            tokens, theta, func
+        ):
+            mismatches += 1
+    detail["queries"] = len(queries)
+    detail["mismatches"] = mismatches
+
+    # Shard-down phase: typed failure vs flagged partial on the same query.
+    downed = victim_shard
+    for r in range(router.replication):
+        router.replica(downed, r).fail()
+    typed_failure = False
+    try:
+        router.search(flap_tokens, theta, func=func)
+    except ClusterError:
+        typed_failure = True
+    partial = router.search_partial(flap_tokens, theta, func=func)
+    partial_flagged = (
+        not partial.complete and downed in partial.missing_shards
+    )
+    detail["typed_failure_when_shard_down"] = typed_failure
+    detail["partial_flagged"] = partial_flagged
+    detail["partial_missing_fragments"] = list(partial.missing_fragments)
+    for r in range(router.replication):
+        router.replica(downed, r).restore()
+    clock.advance(breaker.reset_timeout)
+    restored_ok = (
+        router.search(flap_tokens, theta, func=func) == expected_flap
+    )
+    detail["restored_ok"] = restored_ok
+
+    recovery = _recovery_from_spans(tracer, mark)
+    route = router.metrics.group("cluster.route")
+    for key in ("failovers", "breaker_opened", "breaker_closed", "retries",
+                "breaker_skipped", "partial_results"):
+        if route.get(key):
+            recovery[key] = route[key]
+
+    matched = (
+        mismatches == 0
+        and restored_ok
+        and detail["victim_tripped"]
+        and detail["victim_rejoined"]
+        and typed_failure
+        and partial_flagged
+    )
+    return ScenarioReport(
+        scenario="cluster",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery=recovery,
+        detail=detail,
+    )
+
+
+def run_search_scenario(
+    seed: int,
+    theta: float = 0.7,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 80,
+    workdir: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Corrupt a snapshot on disk and overrun a deadline; both fail typed.
+
+    The snapshot must fail closed (:class:`SnapshotError` on load, never a
+    silently wrong index), and a probe that runs past its deadline on the
+    chaos clock must raise :class:`DeadlineExceededError` — while the same
+    probe with a sane deadline still answers exactly.
+    """
+    import tempfile
+    from pathlib import Path
+
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig())
+    injector = FaultInjector(schedule, tracer)
+    records = make_corpus("wiki", n_records, seed=seed % 983)
+    index = SegmentIndex.build(records, n_vertical=10)
+    probe_tokens = records[stable_mod(seed, len(records))].tokens
+    expected = index.probe(probe_tokens, theta, func)
+
+    detail: Dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        path = Path(tmp) / "chaos.idx"
+        save_index(index, path)
+        # Intact round-trip first: the baseline the corruption breaks.
+        detail["roundtrip_ok"] = (
+            load_index(path).probe(probe_tokens, theta, func) == expected
+        )
+        raw = bytearray(path.read_bytes())
+        offset = len(raw) // 2 + stable_mod(seed, max(1, len(raw) // 4))
+        raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        injector.record("snapshot-corruption", str(path),
+                        f"byte {offset} flipped")
+        try:
+            load_index(path)
+            corruption_detected = False
+        except SnapshotError:
+            corruption_detected = True
+        detail["corruption_detected"] = corruption_detected
+
+    clock = ChaosClock()
+    service = SimilarityService(index, tracer=tracer, clock=clock)
+    hits = service.search(probe_tokens, theta, func=func, deadline=60.0)
+    detail["in_deadline_ok"] = hits == expected
+    injector.record("latency-spike", "service",
+                    "+1.000s on the chaos clock mid-request")
+    original_probe = service.index.probe
+
+    def slow_probe(*args, **kwargs):
+        clock.advance(1.0)
+        return original_probe(*args, **kwargs)
+
+    service.index.probe = slow_probe  # type: ignore[method-assign]
+    service._cache.clear()
+    deadline_typed = False
+    try:
+        service.search(probe_tokens, theta, func=func, deadline=0.5)
+    except DeadlineExceededError:
+        deadline_typed = True
+    finally:
+        del service.index.probe
+    detail["deadline_typed"] = deadline_typed
+    detail["deadline_counter"] = service.metrics.get(
+        "service.deadline", "exceeded"
+    )
+
+    matched = (
+        detail["roundtrip_ok"]
+        and corruption_detected
+        and detail["in_deadline_ok"]
+        and deadline_typed
+    )
+    return ScenarioReport(
+        scenario="search",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery={"fail-closed": int(corruption_detected)
+                  + int(deadline_typed)},
+        detail=detail,
+    )
+
+
+SCENARIOS = {
+    "join": run_join_scenario,
+    "cluster": run_cluster_scenario,
+    "search": run_search_scenario,
+}
+
+
+def run_recovery_report(
+    seed: int,
+    scenario: str = "all",
+    theta: float = 0.7,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    executor: str = "serial",
+    tracer: Optional[Tracer] = None,
+) -> RecoveryReport:
+    """Run the selected scenario(s) for one seed and collect the report."""
+    func = SimilarityFunction(func)
+    names = list(SCENARIOS) if scenario == "all" else [scenario]
+    for name in names:
+        if name not in SCENARIOS:
+            raise ConfigError(
+                f"unknown chaos scenario {name!r} "
+                f"(choose from: {', '.join(SCENARIOS)}, all)"
+            )
+    report = RecoveryReport(seed=seed)
+    for name in names:
+        if name == "join":
+            result = run_join_scenario(
+                seed, theta=theta, func=func, executor=executor, tracer=tracer
+            )
+        else:
+            result = SCENARIOS[name](seed, theta=theta, func=func,
+                                     tracer=tracer)
+        report.scenarios.append(result)
+    return report
+
+
+def stable_mod(seed: int, modulus: int) -> int:
+    """A small seeded pick (shared by scenarios; never the global RNG)."""
+    from repro.mapreduce.shuffle import stable_hash
+
+    return stable_hash(("chaos-pick", seed)) % max(1, modulus)

@@ -14,6 +14,11 @@ Subcommands:
   ``search`` it scatter-gather (with ``--fail-shard`` failure injection),
   inspect ``status``, or replay skewed traffic with ``serve-sim``
   (optionally rebalancing hot fragments);
+* ``chaos`` — seeded chaos drill: inject faults (task deaths, stragglers,
+  a driver kill, checkpoint corruption, replica flaps, snapshot bit-flips)
+  across the pipeline, cluster and service layers and print a JSON
+  recovery report; exits 1 unless every scenario recovered to
+  bit-identical output or a typed error;
 * ``trace`` — summarize/convert a trace written with ``--trace``.
 
 ``join`` and ``search`` accept ``--trace PATH``: the run records one span
@@ -40,6 +45,8 @@ Examples::
         --fail-shard 1
     python -m repro cluster serve-sim wiki.cluster --probes 500 --zipf 1.2 \\
         --rebalance
+    python -m repro chaos --seed 7
+    python -m repro chaos --seed 7 --scenario join --trace chaos.jsonl
     python -m repro trace run.jsonl --chrome run.chrome.json
 """
 
@@ -233,6 +240,29 @@ def _build_parser() -> argparse.ArgumentParser:
     cserve.add_argument("--skew-threshold", type=float, default=1.5)
     cserve.add_argument("--fail-shard", type=int, metavar="SHARD",
                         help="kill replica 0 of this shard before the replay")
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos drill: inject faults, verify recovery"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="chaos seed; the same seed injects exactly the "
+                            "same faults on every run")
+    chaos.add_argument("--scenario", choices=("join", "search", "cluster",
+                                              "all"),
+                       default="all",
+                       help="which layer to drill (default: all)")
+    chaos.add_argument("--theta", type=float, default=0.7)
+    chaos.add_argument("--func",
+                       choices=[f.value for f in SimilarityFunction],
+                       default="jaccard")
+    chaos.add_argument("--executor", choices=[k.value for k in ExecutorKind],
+                       default="serial",
+                       help="executor the join scenario runs on")
+    chaos.add_argument("--trace", metavar="PATH",
+                       help="record the drill's spans — every injected "
+                            "fault (phase=\"fault\") next to every recovery "
+                            "action (phase=\"recovery\") — as JSONL plus a "
+                            "Chrome trace twin")
 
     trace = sub.add_parser(
         "trace", help="summarize/convert a JSONL trace written with --trace"
@@ -650,6 +680,40 @@ def _cmd_cluster(args) -> int:
     return _CLUSTER_COMMANDS[args.cluster_command](args)
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos import run_recovery_report
+
+    tracer = Tracer() if args.trace else NOOP_TRACER
+    report = run_recovery_report(
+        args.seed,
+        scenario=args.scenario,
+        theta=args.theta,
+        func=SimilarityFunction(args.func),
+        executor=args.executor,
+        tracer=tracer,
+    )
+    print(json.dumps(report.as_dict(), indent=2))
+    if args.trace:
+        _export_trace(tracer, args.trace)
+    if not report.ok:
+        failed = [s.scenario for s in report.scenarios if not s.ok]
+        print(
+            f"error: chaos drill failed (seed {args.seed}): "
+            f"{', '.join(failed)} did not recover cleanly",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos drill ok: seed {args.seed}, "
+        f"{len(report.scenarios)} scenario(s), "
+        f"{report.total_faults()} faults injected, all recovered",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.analysis.report import format_phase_breakdown
 
@@ -674,6 +738,7 @@ _COMMANDS = {
     "index": _cmd_index,
     "search": _cmd_search,
     "cluster": _cmd_cluster,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
 }
 

@@ -31,14 +31,25 @@ Example:
 """
 
 from repro.cluster.build import build_cluster, load_cluster, save_cluster
+from repro.cluster.failover import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.cluster.node import FragmentPayload, ShardNode, ShardSlice
 from repro.cluster.plan import ShardPlan, plan_shards
-from repro.cluster.router import ClusterRouter, Migration
+from repro.cluster.router import ClusterRouter, Migration, PartialSearchResult
 
 __all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
     "ClusterRouter",
     "FragmentPayload",
     "Migration",
+    "PartialSearchResult",
+    "RetryPolicy",
     "ShardNode",
     "ShardPlan",
     "ShardSlice",

@@ -21,6 +21,7 @@ form of "every replica restores the same snapshot").
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -33,6 +34,7 @@ from repro.observability.tracer import Tracer
 from repro.service.index import SegmentIndex
 from repro.service.snapshot import load_index, save_index
 
+from repro.cluster.failover import BreakerConfig, RetryPolicy
 from repro.cluster.node import ShardNode, ShardSlice
 from repro.cluster.plan import ShardPlan, plan_shards
 from repro.cluster.router import ClusterRouter
@@ -54,6 +56,10 @@ def build_cluster(
     queue_timeout: float = 0.25,
     tracer: Optional[Tracer] = None,
     executor: Union[ExecutorKind, str, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+    clock=time.monotonic,
+    sleep=time.sleep,
 ) -> ClusterRouter:
     """Shard an index (or a corpus) into a routed, replicated cluster.
 
@@ -87,6 +93,10 @@ def build_cluster(
         queue_timeout=queue_timeout,
         tracer=tracer,
         executor=executor,
+        retry=retry,
+        breaker=breaker,
+        clock=clock,
+        sleep=sleep,
     )
 
 
@@ -134,6 +144,10 @@ def load_cluster(
     queue_timeout: float = 0.25,
     tracer: Optional[Tracer] = None,
     executor: Union[ExecutorKind, str, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[BreakerConfig] = None,
+    clock=time.monotonic,
+    sleep=time.sleep,
 ) -> ClusterRouter:
     """Restore a cluster directory written by :func:`save_cluster`.
 
@@ -200,4 +214,8 @@ def load_cluster(
         queue_timeout=queue_timeout,
         tracer=tracer,
         executor=executor,
+        retry=retry,
+        breaker=breaker,
+        clock=clock,
+        sleep=sleep,
     )

@@ -245,6 +245,13 @@ class ShardNode:
         self.slice = slice_
         self.alive = True
         self.counters = Counters()
+        #: optional chaos hook, called with this node at the top of every
+        #: probe (after the liveness check, before any work).  It may raise
+        #: :class:`ShardDownError` to crash the probe mid-flight, or advance
+        #: an injected clock to model a latency spike — the router's
+        #: deadline checks run on the same clock, so injected latency is
+        #: observable without real sleeps.
+        self.fault_hook = None
 
     @property
     def name(self) -> str:
@@ -274,6 +281,8 @@ class ShardNode:
         """Serve one scatter leg; raises :class:`ShardDownError` if failed."""
         if not self.alive:
             raise ShardDownError(f"{self.name} is down")
+        if self.fault_hook is not None:
+            self.fault_hook(self)
         self.counters.increment("cluster.node", "probes")
         return self.slice.probe_encoded(
             query, theta, func, filters, self.counters, tracer

@@ -11,15 +11,34 @@
    (V-SMART-Join's scatter discipline: never fan out to nodes that cannot
    contribute a candidate).
 3. **Scatter** — each target shard is probed on one healthy replica
-   (round-robin across replicas; a replica that fails mid-probe is marked
-   dead and the next replica is tried — the failover path the chaos tests
-   exercise).  Legs run serially by default or fanned out on the thread
-   backend of :mod:`repro.mapreduce.executors`.
+   (round-robin across replicas, gated by a per-replica
+   :class:`~repro.cluster.failover.CircuitBreaker`).  A replica that
+   fails mid-probe feeds its breaker and the next replica is tried; when
+   a whole sweep fails the leg retries under the router's
+   :class:`~repro.cluster.failover.RetryPolicy` (exponential backoff,
+   deterministic jitter) before declaring the shard unavailable.
+   Breakers replace the old permanent-death failover: a crashed replica
+   is skipped without contact while its breaker is OPEN, but once the
+   reset timeout elapses a single half-open trial probe decides whether
+   it rejoins rotation — so flapping replicas come back on their own.
+   Legs run serially by default or fanned out on the thread backend of
+   :mod:`repro.mapreduce.executors`.
 4. **Gather** — per-shard hit lists are concatenated and sorted.  No
    dedup pass is needed: the shard slices' claim rule (see
    :mod:`repro.cluster.node`) assigns every (query, candidate) pair to
    exactly one shard, the distributed form of the paper's Theorem 1, so
-   the merge is exact by construction.
+   the merge is exact by construction.  :meth:`ClusterRouter.search`
+   demands every leg succeed; :meth:`ClusterRouter.search_partial` is
+   the opt-in degraded mode that returns whatever the live shards
+   produced, flagged ``complete=False`` with the missing shards and
+   fragments named — never silently partial.
+
+Requests may carry a **deadline** (seconds of budget); a request that
+exceeds it fails with a typed
+:class:`~repro.errors.DeadlineExceededError` instead of hanging on a
+slow cluster.  Failover and recovery emit ``phase="recovery"`` spans
+(``failover`` / ``breaker-close``) alongside the existing counters, so a
+trace shows *how* a degraded request was answered.
 
 The router also keeps per-fragment *heat* counters (how many probes
 touched each fragment).  :meth:`rebalance` turns observed heat into
@@ -53,6 +72,7 @@ from repro.errors import (
     ClusterOverloadError,
     ConfigError,
     DataError,
+    DeadlineExceededError,
     ShardDownError,
 )
 from repro.mapreduce.counters import Counters
@@ -63,10 +83,34 @@ from repro.service.index import EncodedQuery, SearchHit
 from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import prefix_length
 
+from repro.cluster.failover import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.cluster.node import ShardNode
 from repro.cluster.plan import ShardPlan
 
 ROUTE_GROUP = "cluster.route"
+
+
+@dataclass(frozen=True)
+class PartialSearchResult:
+    """What a degraded (:meth:`ClusterRouter.search_partial`) gather found.
+
+    ``complete=True`` means every targeted shard answered and ``hits``
+    equals what :meth:`ClusterRouter.search` would have returned.
+    Otherwise ``hits`` covers only the shards that answered, and the
+    missing coverage is named explicitly — a caller can re-probe just
+    ``missing_fragments`` later, and can never mistake a partial answer
+    for a full one.
+    """
+
+    hits: Tuple[SearchHit, ...]
+    complete: bool
+    missing_shards: Tuple[int, ...] = ()
+    missing_fragments: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -94,13 +138,21 @@ class ClusterRouter:
         queue_timeout: float = 0.25,
         tracer: Optional[Tracer] = None,
         executor: Union[ExecutorKind, str, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
     ) -> None:
         """``groups[s]`` is shard ``s``'s replica list (all non-empty, same
         length = the replication factor).  ``executor`` fans scatter legs
         out (``thread``); the default probes shards serially in the calling
         thread.  ``max_in_flight`` bounds concurrently admitted searches;
         a request that cannot be admitted within ``queue_timeout`` seconds
-        is shed with :class:`ClusterOverloadError`."""
+        is shed with :class:`ClusterOverloadError`.  ``retry`` is the
+        per-leg retry budget, ``breaker`` shapes the per-replica circuit
+        breakers; ``clock``/``sleep`` are injectable so breaker timeouts,
+        deadlines and backoff waits are testable (and chaos-replayable)
+        without real time passing."""
         if len(groups) != plan.n_shards:
             raise ConfigError(
                 f"plan expects {plan.n_shards} shards, got {len(groups)} groups"
@@ -122,6 +174,14 @@ class ClusterRouter:
         self.metrics = Counters()
         self.latency = LatencyHistogram()
         self._groups: List[List[ShardNode]] = [list(g) for g in groups]
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._breaker_config = breaker if breaker is not None else BreakerConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self._breakers: List[List[CircuitBreaker]] = [
+            [self._breaker_config.build(clock) for _ in group]
+            for group in self._groups
+        ]
         self._executor = executor
         self._admission = threading.BoundedSemaphore(max_in_flight)
         self.queue_timeout = queue_timeout
@@ -147,6 +207,17 @@ class ClusterRouter:
     def health_check(self) -> List[List[bool]]:
         """Ping every replica; ``result[shard][replica]`` is liveness."""
         return [[node.ping() for node in group] for group in self._groups]
+
+    def breaker(self, shard: int, replica: int) -> CircuitBreaker:
+        """Direct handle on one replica's circuit breaker."""
+        return self._breakers[shard][replica]
+
+    def breaker_states(self) -> List[List[str]]:
+        """``result[shard][replica]`` is the breaker state (string form)."""
+        return [
+            [breaker.state.value for breaker in group]
+            for group in self._breakers
+        ]
 
     def fragment_heat(self) -> Dict[int, int]:
         """Observed per-fragment probe counts since start (or last reset)."""
@@ -183,6 +254,7 @@ class ClusterRouter:
             "heat_cv": round(report.cv, 4),
             "heat_max_over_mean": round(report.max_over_mean, 4),
             "health": self.health_check(),
+            "breakers": self.breaker_states(),
             "route": self.metrics.group(ROUTE_GROUP),
         }
 
@@ -232,11 +304,55 @@ class ClusterRouter:
         k: Optional[int] = None,
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         exclude: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> List[SearchHit]:
         """Exact cluster-wide search; same contract as
-        :meth:`repro.service.service.SimilarityService.search`."""
+        :meth:`repro.service.service.SimilarityService.search`.
+
+        ``deadline`` (seconds of budget for the whole request, measured on
+        the router's clock) turns a slow request into a typed
+        :class:`DeadlineExceededError` instead of an unbounded wait.  Any
+        unreachable shard fails the request (:class:`ClusterError`) — use
+        :meth:`search_partial` to accept degraded answers instead."""
+        result = self._search(
+            tokens, theta, k, func, exclude, deadline, allow_partial=False
+        )
+        return list(result.hits)
+
+    def search_partial(
+        self,
+        tokens: Iterable[str],
+        theta: float,
+        k: Optional[int] = None,
+        func: SimilarityFunction = SimilarityFunction.JACCARD,
+        exclude: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> PartialSearchResult:
+        """Degraded-mode search: answer with whatever shards are live.
+
+        A shard whose every replica is down (after breakers and the retry
+        budget) does not fail the request; its absence is reported on the
+        returned :class:`PartialSearchResult` (``complete=False`` plus the
+        missing shard and fragment ids).  Admission shedding and deadline
+        overruns still raise — degraded means *partial coverage*, never
+        silent failure."""
+        return self._search(
+            tokens, theta, k, func, exclude, deadline, allow_partial=True
+        )
+
+    def _search(
+        self,
+        tokens: Iterable[str],
+        theta: float,
+        k: Optional[int],
+        func: SimilarityFunction,
+        exclude: Optional[int],
+        deadline: Optional[float],
+        allow_partial: bool,
+    ) -> PartialSearchResult:
         func = SimilarityFunction(func)
         started = time.perf_counter()
+        deadline_at = None if deadline is None else self._clock() + deadline
         if not self._admission.acquire(timeout=self.queue_timeout):
             self.metrics.increment(ROUTE_GROUP, "shed")
             raise ClusterOverloadError(
@@ -244,6 +360,7 @@ class ClusterRouter:
                 f"{self.queue_timeout:.3f}s in queue"
             )
         try:
+            self._check_deadline(deadline_at)
             query = self.encode_query(tokens)
             with self.tracer.span(
                 "cluster-search", phase="cluster", theta=theta,
@@ -260,11 +377,19 @@ class ClusterRouter:
                 with self._lock:
                     for fragment in fragments:
                         self._heat[fragment] = self._heat.get(fragment, 0) + 1
-                partials = self._scatter(targets, query, theta, func)
+                partials = self._scatter(
+                    targets, query, theta, func, deadline_at, allow_partial
+                )
+                missing = [s for s, leg_hits in partials if leg_hits is None]
                 with self.tracer.span("merge", phase="cluster") as merge_span:
-                    hits = _gather(partials)
+                    hits = _gather(
+                        [leg_hits for _s, leg_hits in partials
+                         if leg_hits is not None]
+                    )
                     merge_span.attrs["hits"] = len(hits)
                 span.attrs["hits"] = len(hits)
+                if missing:
+                    span.attrs["missing_shards"] = missing
         finally:
             self._admission.release()
         self.latency.record(time.perf_counter() - started)
@@ -272,7 +397,24 @@ class ClusterRouter:
             hits = [hit for hit in hits if hit.rid != exclude]
         if k is not None:
             hits = hits[: max(k, 0)]
-        return hits
+        if missing:
+            self.metrics.increment(ROUTE_GROUP, "partial_results")
+        missing_fragments = sorted(
+            fragment for shard in missing for fragment in targets[shard]
+        )
+        return PartialSearchResult(
+            hits=tuple(hits),
+            complete=not missing,
+            missing_shards=tuple(missing),
+            missing_fragments=tuple(missing_fragments),
+        )
+
+    def _check_deadline(self, deadline_at: Optional[float]) -> None:
+        if deadline_at is not None and self._clock() >= deadline_at:
+            self.metrics.increment(ROUTE_GROUP, "deadline_exceeded")
+            raise DeadlineExceededError(
+                "request deadline exceeded before the cluster could answer"
+            )
 
     def search_rid(
         self,
@@ -319,13 +461,19 @@ class ClusterRouter:
         query: EncodedQuery,
         theta: float,
         func: SimilarityFunction,
-    ) -> List[List[SearchHit]]:
+        deadline_at: Optional[float],
+        allow_partial: bool,
+    ) -> List[Tuple[int, Optional[List[SearchHit]]]]:
+        """Per-shard ``(shard, hits)`` legs; ``hits is None`` marks a shard
+        that stayed unavailable in partial mode."""
         shards = list(targets)
         if not shards:
             return []
         if self._executor is None or len(shards) == 1:
             return [
-                self._probe_shard(shard, query, theta, func, self.tracer)
+                (shard,
+                 self._leg(shard, query, theta, func, self.tracer,
+                           deadline_at, allow_partial))
                 for shard in shards
             ]
         executor = create_executor(self._executor)
@@ -333,17 +481,41 @@ class ClusterRouter:
 
         def leg(shard: int):
             tracer = Tracer() if traced else NOOP_TRACER
-            hits = self._probe_shard(shard, query, theta, func, tracer)
+            hits = self._leg(shard, query, theta, func, tracer,
+                             deadline_at, allow_partial)
             return hits, tracer.spans()
 
         outputs = executor.run_tasks(leg, shards)
-        partials = []
+        partials: List[Tuple[int, Optional[List[SearchHit]]]] = []
         # Adopted in shard-id order, like the runtime's task-index-order
         # commit, so traces are deterministic across backends.
-        for hits, spans in outputs:
-            partials.append(hits)
+        for shard, (hits, spans) in zip(shards, outputs):
+            partials.append((shard, hits))
             self.tracer.adopt(spans)
         return partials
+
+    def _leg(
+        self,
+        shard: int,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        tracer: Tracer,
+        deadline_at: Optional[float],
+        allow_partial: bool,
+    ) -> Optional[List[SearchHit]]:
+        """One scatter leg; in partial mode an unavailable shard yields
+        ``None`` instead of failing the whole request.  Deadline overruns
+        always propagate — a partial answer must still be a *timely* one."""
+        try:
+            return self._probe_shard(shard, query, theta, func, tracer,
+                                     deadline_at)
+        except DeadlineExceededError:
+            raise
+        except ClusterError:
+            if not allow_partial:
+                raise
+            return None
 
     def _probe_shard(
         self,
@@ -352,38 +524,97 @@ class ClusterRouter:
         theta: float,
         func: SimilarityFunction,
         tracer: Tracer,
+        deadline_at: Optional[float] = None,
     ) -> List[SearchHit]:
-        """Probe one healthy replica of ``shard``, failing over as needed."""
+        """Probe one available replica of ``shard``, failing over as needed.
+
+        Replica order is round-robin from a per-shard cursor; a replica
+        whose breaker is OPEN is skipped without contact.  A failed ping or
+        mid-probe :class:`ShardDownError` feeds the replica's breaker and
+        moves on to the next replica.  When one full sweep finds no
+        answer, the sweep retries under :attr:`retry` (deterministic
+        backoff) before the shard is declared unavailable — one
+        ``unavailable`` count and one :class:`ClusterError` per request,
+        however many attempts were burned."""
         group = self._groups[shard]
+        breakers = self._breakers[shard]
         with self._lock:
             start = self._cursor[shard] % len(group)
             self._cursor[shard] += 1
         last_error: Optional[ShardDownError] = None
-        for offset in range(len(group)):
-            node = group[(start + offset) % len(group)]
-            if not node.ping():
-                continue
-            with tracer.span(
-                "shard-probe", phase="cluster", shard=shard,
-                replica=node.replica_id,
-            ) as span:
-                try:
-                    hits = node.probe(query, theta, func, self.filters, tracer)
-                except ShardDownError as exc:
-                    # Failed mid-probe (e.g. injected between ping and
-                    # probe): mark it dead and try the next replica.
-                    node.fail()
-                    span.attrs["status"] = "failed-over"
-                    self.metrics.increment(ROUTE_GROUP, "failovers")
-                    last_error = exc
+        for sweep in range(self.retry.max_retries + 1):
+            if sweep:
+                self._check_deadline(deadline_at)
+                self.metrics.increment(ROUTE_GROUP, "retries")
+                self._sleep(self.retry.backoff((shard, query.ranks), sweep - 1))
+            for offset in range(len(group)):
+                index = (start + offset) % len(group)
+                node = group[index]
+                breaker = breakers[index]
+                self._check_deadline(deadline_at)
+                if not breaker.allow():
+                    # OPEN (or a busy half-open trial): known bad, skip
+                    # without paying for a contact.
+                    self.metrics.increment(ROUTE_GROUP, "breaker_skipped")
                     continue
-                span.attrs["hits"] = len(hits)
-                return hits
+                if not node.ping():
+                    self._note_failure(breaker, shard, node, tracer)
+                    continue
+                with tracer.span(
+                    "shard-probe", phase="cluster", shard=shard,
+                    replica=node.replica_id,
+                ) as span:
+                    try:
+                        hits = node.probe(query, theta, func, self.filters,
+                                          tracer)
+                    except ShardDownError as exc:
+                        # Failed mid-probe (e.g. injected between ping and
+                        # probe): feed the breaker, try the next replica.
+                        span.attrs["status"] = "failed-over"
+                        self.metrics.increment(ROUTE_GROUP, "failovers")
+                        if tracer.enabled:
+                            tracer.add(
+                                f"failover:{node.name}", "recovery",
+                                start=time.perf_counter(), duration=0.0,
+                                action="failover", shard=shard,
+                                replica=node.replica_id,
+                            )
+                        self._note_failure(breaker, shard, node, tracer)
+                        last_error = exc
+                        continue
+                    if breaker.record_success():
+                        # A previously tripped replica answered its
+                        # half-open trial: it rejoins rotation.
+                        self.metrics.increment(ROUTE_GROUP, "breaker_closed")
+                        if tracer.enabled:
+                            tracer.add(
+                                f"breaker-close:{node.name}", "recovery",
+                                start=time.perf_counter(), duration=0.0,
+                                action="breaker-close", shard=shard,
+                                replica=node.replica_id,
+                            )
+                    span.attrs["hits"] = len(hits)
+                    return hits
         self.metrics.increment(ROUTE_GROUP, "unavailable")
         raise ClusterError(
             f"shard {shard}: all {len(group)} replicas down"
             + (f" ({last_error})" if last_error else "")
         )
+
+    def _note_failure(
+        self, breaker: CircuitBreaker, shard: int, node: ShardNode,
+        tracer: Tracer,
+    ) -> None:
+        """Feed one replica failure to its breaker; count/trace a trip."""
+        if breaker.record_failure():
+            self.metrics.increment(ROUTE_GROUP, "breaker_opened")
+            if tracer.enabled:
+                tracer.add(
+                    f"breaker-open:{node.name}", "fault",
+                    start=time.perf_counter(), duration=0.0,
+                    kind="breaker-open", shard=shard,
+                    replica=node.replica_id,
+                )
 
     # -- skew-aware rebalancing ----------------------------------------
     def rebalance(

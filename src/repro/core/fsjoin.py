@@ -7,23 +7,38 @@ loads, measured task times) that the benchmarks consume.
 
 ``FSJoin`` with ``n_horizontal == 1`` is the paper's **FS-Join-V** (pure
 vertical partitioning); with ``n_horizontal > 1`` it is full **FS-Join**.
+
+When a DFS is attached, every job's output is additionally materialised as
+a digest-validated checkpoint (``fsjoin/ckpt/<job>``), and
+``run(records, resume=True)`` restarts a killed pipeline from the last
+good job: jobs whose checkpoint still passes its sha256 digest are skipped
+and their output reloaded, exactly like re-submitting a Hadoop job chain
+over surviving intermediate files.  A corrupted checkpoint fails the
+digest check and the job simply re-runs — resume can never feed garbage
+downstream.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import List, Optional
 
 from repro.core.config import FSJoinConfig
 from repro.core.filter_job import FilterJob
 from repro.core.horizontal import build_horizontal_plan
-from repro.core.ordering import compute_global_ordering
+from repro.core.ordering import GlobalOrder, compute_global_ordering
 from repro.core.partitioning import VerticalPartitioner
 from repro.core.pivots import select_pivots
 from repro.core.verify_job import VerificationJob
 from repro.data.records import RecordCollection
+from repro.errors import CheckpointError, ConfigError
+from repro.mapreduce.checkpoint import PipelineCheckpoint
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.pipeline import PipelineResult
 from repro.mapreduce.runtime import ClusterSpec, SimulatedCluster
+
+#: DFS root the per-job checkpoints live under.
+CHECKPOINT_ROOT = "fsjoin/ckpt"
 
 
 class FSJoin:
@@ -46,7 +61,9 @@ class FSJoin:
     ) -> None:
         """``dfs``, when given, receives every job's output under
         ``fsjoin/<job-name>`` and feeds the next job from there — the way
-        Hadoop pipelines hand data across jobs.  Purely observational (the
+        Hadoop pipelines hand data across jobs — plus a digest-validated
+        checkpoint per job under ``fsjoin/ckpt/`` that ``run(resume=True)``
+        restarts from.  Purely observational on a fault-free run (the
         returned results are identical); lets callers audit the
         intermediate HDFS volume that dominates MassJoin's cost story."""
         self.config = config
@@ -64,19 +81,60 @@ class FSJoin:
     def algorithm_name(self) -> str:
         return "FS-Join" if self.config.uses_horizontal else "FS-Join-V"
 
-    def run(self, records: RecordCollection) -> PipelineResult:
+    def run(
+        self, records: RecordCollection, resume: bool = False
+    ) -> PipelineResult:
         """Execute the three-job pipeline and return results + metrics.
+
+        With ``resume=True`` (requires an attached DFS), jobs whose
+        checkpoint from an earlier — possibly killed — run still passes
+        its digest are skipped and their materialised output reused; the
+        skipped names are reported on ``PipelineResult.resumed_jobs``.
+        Resume assumes the same records and config as the original run:
+        checkpoints name jobs, not inputs, so resuming a *different* join
+        over a dirty DFS is caller error (call
+        ``PipelineCheckpoint(dfs).clear()`` between unrelated runs).
 
         When the cluster carries an enabled tracer, the run is wrapped in a
         ``pipeline:<name>`` span with one child per driver phase
         (``order-build`` / ``filter-job`` / ``verify-job`` /
-        ``aggregation``), each job's own spans nested inside; the slice of
-        spans this run produced is returned on ``PipelineResult.trace``.
+        ``aggregation``), each job's own spans nested inside — plus one
+        ``phase="recovery"`` span per checkpoint-skipped job on resume;
+        the slice of spans this run produced is returned on
+        ``PipelineResult.trace``.
         """
         config = self.config
         cluster = self.cluster
         tracer = cluster.tracer
         mark = tracer.mark()
+        ckpt = (
+            PipelineCheckpoint(self.dfs, CHECKPOINT_ROOT)
+            if self.dfs is not None
+            else None
+        )
+        if resume and ckpt is None:
+            raise ConfigError(
+                "resume=True requires a DFS: checkpoints are materialised "
+                "there (pass dfs=InMemoryDFS() to FSJoin)"
+            )
+        resumed: List[str] = []
+
+        def restore(job: str):
+            """A job's digest-valid checkpointed output, or None to re-run."""
+            if not (resume and ckpt is not None and ckpt.valid(job)):
+                return None
+            try:
+                pairs = ckpt.load(job)
+            except CheckpointError:
+                return None
+            resumed.append(job)
+            if tracer.enabled:
+                tracer.add(
+                    f"resume:{job}", "recovery",
+                    start=time.perf_counter(), duration=0.0,
+                    action="resume-skip", job=job,
+                )
+            return pairs
 
         with tracer.span(
             f"pipeline:{self.algorithm_name}",
@@ -87,9 +145,20 @@ class FSJoin:
         ):
             # Job 1 + driver-side planning, as the paper's SetUp does:
             # vertical pivots from the ordering, horizontal pivots from the
-            # length histogram.
+            # length histogram.  The ordering job's output (token
+            # frequencies) is the checkpoint; GlobalOrder rebuilds from it
+            # deterministically.
+            ordering_result = filter_result = verify_result = None
             with tracer.span("order-build", phase="driver"):
-                order, ordering_result = compute_global_ordering(cluster, records)
+                frequencies = restore("ordering")
+                if frequencies is None:
+                    order, ordering_result = compute_global_ordering(
+                        cluster, records
+                    )
+                    if ckpt is not None:
+                        ckpt.store("ordering", ordering_result.output)
+                else:
+                    order = GlobalOrder(frequencies)
                 cuts = select_pivots(
                     order.rank_frequencies,
                     config.n_vertical,
@@ -106,26 +175,42 @@ class FSJoin:
 
             # Job 2: partition + fragment join → partial counts.
             with tracer.span("filter-job", phase="driver"):
-                filter_job = FilterJob(config, order, partitioner, horizontal)
-                filter_result = cluster.run_job(
-                    filter_job, [(record.rid, record) for record in records]
-                )
-                verify_input = self._through_dfs(
-                    "fsjoin/partial-counts", filter_result.output
-                )
+                verify_input = restore("filter")
+                if verify_input is None:
+                    filter_job = FilterJob(config, order, partitioner, horizontal)
+                    filter_result = cluster.run_job(
+                        filter_job, [(record.rid, record) for record in records]
+                    )
+                    if ckpt is not None:
+                        ckpt.store("filter", filter_result.output)
+                    verify_input = self._through_dfs(
+                        "fsjoin/partial-counts", filter_result.output
+                    )
 
             # Job 3: aggregate counts → exact results.
             with tracer.span("verify-job", phase="driver"):
-                verify_job = VerificationJob(config.theta, config.func)
-                verify_result = cluster.run_job(verify_job, verify_input)
+                pairs = restore("verify")
+                if pairs is None:
+                    verify_job = VerificationJob(config.theta, config.func)
+                    verify_result = cluster.run_job(verify_job, verify_input)
+                    if ckpt is not None:
+                        ckpt.store("verify", verify_result.output)
+                    pairs = verify_result.output
 
             with tracer.span("aggregation", phase="driver") as agg_span:
-                self._through_dfs("fsjoin/results", verify_result.output)
-                agg_span.attrs["pairs"] = len(verify_result.output)
+                self._through_dfs("fsjoin/results", pairs)
+                agg_span.attrs["pairs"] = len(pairs)
                 result = PipelineResult(
                     algorithm=self.algorithm_name,
-                    pairs=verify_result.output,
-                    job_results=[ordering_result, filter_result, verify_result],
+                    pairs=pairs,
+                    job_results=[
+                        job_result
+                        for job_result in (
+                            ordering_result, filter_result, verify_result
+                        )
+                        if job_result is not None
+                    ],
+                    resumed_jobs=resumed,
                 )
 
         if tracer.enabled:

@@ -21,7 +21,23 @@ class DataError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """A MapReduce job failed while executing."""
+    """A MapReduce job failed while executing.
+
+    When a task exhausts its retry budget, ``attempts`` carries the
+    per-attempt failure history as ``(attempt, phase, error_repr)``
+    tuples — every injected or raised failure that led to the abort, in
+    order — so a post-mortem never has to re-run the job to learn *how*
+    it died.  The history survives pickling (task failures may cross a
+    process boundary on the way back to the driver).
+    """
+
+    def __init__(self, message: str = "", attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+    def __reduce__(self):
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.attempts))
 
 
 class DFSError(ReproError):
@@ -42,3 +58,11 @@ class ShardDownError(ClusterError):
 
 class ClusterOverloadError(ClusterError):
     """Admission control shed the request (in-flight limit + queue timeout)."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request ran past its caller-supplied deadline and was abandoned."""
+
+
+class CheckpointError(DFSError):
+    """A pipeline checkpoint is missing, unreadable, or failed its digest."""

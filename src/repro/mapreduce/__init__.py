@@ -15,6 +15,7 @@ See :mod:`repro.mapreduce.runtime` for the engine and
 :mod:`repro.mapreduce.costmodel` for the time model.
 """
 
+from repro.mapreduce.checkpoint import PipelineCheckpoint
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import (
     ExecutorKind,
@@ -34,6 +35,7 @@ from repro.mapreduce.shuffle import stable_hash
 
 __all__ = [
     "Counters",
+    "PipelineCheckpoint",
     "ExecutorKind",
     "TaskExecutor",
     "SerialExecutor",

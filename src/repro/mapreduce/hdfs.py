@@ -6,24 +6,65 @@ stores lists of key/value pairs per path and tracks their estimated byte
 sizes, so pipelines can account for HDFS write/read volume — the cost that
 cripples MassJoin in the paper (105 GB intermediate output for a 1.65 GB
 input).
+
+Two robustness features support checkpoint/resume and the chaos harness:
+
+* every write records a **sha256 digest** of its content (over a canonical
+  ``repr`` serialization), and :meth:`InMemoryDFS.verify` recomputes it —
+  the digest check that lets a resumed pipeline trust (or reject) a
+  materialised job output;
+* an optional **fault hook** ``(op, path) -> None`` is consulted before
+  every operation and may raise :class:`~repro.errors.DFSError` — the
+  injection point for simulated read/write failures — while
+  :meth:`InMemoryDFS.corrupt` models silent on-disk bit rot (the stored
+  pairs change, the recorded digest does not, so ``verify`` fails).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+import hashlib
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import DFSError
 from repro.mapreduce.sizer import estimate_pair_size
 
 Pair = Tuple[Any, Any]
 
+#: Fault hook: ``(op, path)`` called before read/write/rename/delete; may
+#: raise :class:`DFSError` to fail the operation.
+FaultHook = Callable[[str, str], None]
+
+
+def content_digest(pairs: Iterable[Pair]) -> str:
+    """sha256 over a canonical serialization of ``pairs``.
+
+    ``repr`` of the key and value per line: deterministic for the plain
+    data (ints, floats, strings, tuples) that flows between jobs, and
+    independent of pickling details.
+    """
+    hasher = hashlib.sha256()
+    for key, value in pairs:
+        hasher.update(repr(key).encode("utf-8"))
+        hasher.update(b"\x1f")
+        hasher.update(repr(value).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
 
 class InMemoryDFS:
-    """Path → list-of-pairs store with byte accounting."""
+    """Path → list-of-pairs store with byte accounting and digests."""
 
-    def __init__(self) -> None:
+    def __init__(self, fault_hook: Optional[FaultHook] = None) -> None:
         self._files: Dict[str, List[Pair]] = {}
         self._sizes: Dict[str, int] = {}
+        self._digests: Dict[str, str] = {}
+        #: consulted before every operation; settable after construction so
+        #: a chaos schedule can attach to an already-wired pipeline.
+        self.fault_hook = fault_hook
+
+    def _check(self, op: str, path: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(op, path)
 
     def write(self, path: str, pairs: Iterable[Pair], overwrite: bool = False) -> int:
         """Store ``pairs`` at ``path``; returns the estimated byte size.
@@ -36,13 +77,16 @@ class InMemoryDFS:
         (:mod:`repro.service.snapshot`) follows the same discipline with
         a temp file plus :func:`os.replace`.
         """
+        self._check("write", path)
         if path in self._files and not overwrite:
             raise DFSError(f"path already exists: {path!r}")
         data = list(pairs)
         size = sum(estimate_pair_size(k, v) for k, v in data)
+        digest = content_digest(data)
         # Commit point: nothing above may mutate the store.
         self._files[path] = data
         self._sizes[path] = size
+        self._digests[path] = digest
         return size
 
     def rename(self, src: str, dst: str) -> None:
@@ -52,15 +96,18 @@ class InMemoryDFS:
         it with no-clobber semantics keeps "swap a finished file into
         place" explicit: write to a temp path, then ``rename``.
         """
+        self._check("rename", src)
         if src not in self._files:
             raise DFSError(f"no such path: {src!r}")
         if dst in self._files:
             raise DFSError(f"destination already exists: {dst!r}")
         self._files[dst] = self._files.pop(src)
         self._sizes[dst] = self._sizes.pop(src)
+        self._digests[dst] = self._digests.pop(src)
 
     def read(self, path: str) -> List[Pair]:
         """Return the pairs stored at ``path``."""
+        self._check("read", path)
         try:
             return self._files[path]
         except KeyError:
@@ -71,10 +118,12 @@ class InMemoryDFS:
 
     def delete(self, path: str) -> None:
         """Remove ``path``; raises if absent."""
+        self._check("delete", path)
         if path not in self._files:
             raise DFSError(f"no such path: {path!r}")
         del self._files[path]
         del self._sizes[path]
+        del self._digests[path]
 
     def size_bytes(self, path: str) -> int:
         """Estimated serialized size of the file at ``path``."""
@@ -82,6 +131,39 @@ class InMemoryDFS:
             return self._sizes[path]
         except KeyError:
             raise DFSError(f"no such path: {path!r}") from None
+
+    # -- integrity -----------------------------------------------------
+    def digest(self, path: str) -> str:
+        """The sha256 recorded when ``path`` was written."""
+        try:
+            return self._digests[path]
+        except KeyError:
+            raise DFSError(f"no such path: {path!r}") from None
+
+    def verify(self, path: str) -> bool:
+        """Recompute ``path``'s digest and compare to the recorded one.
+
+        ``False`` means the stored content no longer matches what was
+        written — the file was corrupted in place (:meth:`corrupt`, or any
+        out-of-band mutation of the returned lists).
+        """
+        return content_digest(self.read(path)) == self.digest(path)
+
+    def corrupt(self, path: str) -> None:
+        """Simulate silent bit rot: perturb the stored pairs in place.
+
+        The recorded digest is deliberately left stale, so the damage is
+        invisible to ``exists``/``read`` and only :meth:`verify` (the
+        resume path's checkpoint validation) can detect it.
+        """
+        if path not in self._files:
+            raise DFSError(f"no such path: {path!r}")
+        data = self._files[path]
+        if data:
+            key, value = data[0]
+            data[0] = (key, ("\x00bitflip", value))
+        else:
+            data.append(("\x00bitflip", 1))
 
     def list_paths(self) -> List[str]:
         return sorted(self._files)

@@ -36,6 +36,11 @@ class PipelineResult:
     job_results: List[JobResult] = field(default_factory=list)
     trace: Optional[Tuple[Span, ...]] = None
     """The run's spans, when the driver ran with an enabled tracer."""
+    resumed_jobs: List[str] = field(default_factory=list)
+    """Jobs skipped on a ``resume=True`` run because a digest-valid
+    checkpoint already held their output (execution order).  Such jobs
+    contribute no fresh :class:`JobResult`, so counters and metrics cover
+    only the work this run actually performed."""
 
     @property
     def result_pairs(self) -> Dict[Tuple[int, int], float]:

@@ -38,9 +38,16 @@ Pair = Tuple[Any, Any]
 #: Fault-injection hook: ``(phase, task_id, attempt) -> should_fail``.
 FailureInjector = Callable[[str, int, int], bool]
 
+#: Straggler hook: ``(phase, task_id, attempt) -> simulated extra seconds``.
+#: The delay is charged to the attempt's ``compute_seconds`` (it models a
+#: slow node, not slow work) and is what speculative execution races against.
+StragglerInjector = Callable[[str, int, int], float]
 
-class _InjectedTaskFailure(Exception):
-    """Raised inside a task attempt by the failure injector."""
+#: Attempt-id offset for speculative backup attempts: the backup of attempt
+#: ``k`` is presented to the injectors as attempt ``k + 1000``, so fault
+#: schedules can target originals and backups independently while every
+#: decision stays a pure function of ``(phase, task_id, attempt)``.
+SPECULATIVE_ATTEMPT_OFFSET = 1000
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,80 @@ class _TaskOutcome:
     counters: Counters
     retries: int
     spans: Tuple[Span, ...] = field(default=())
+    speculative_backups: int = 0
+    speculative_wins: int = 0
+
+
+def _run_attempt(
+    job: MapReduceJob,
+    phase: str,
+    task_id: int,
+    payload: Any,
+    n_reduce: int,
+    has_combiner: bool,
+    injector: Optional[FailureInjector],
+    straggler: Optional[StragglerInjector],
+    attempt: int,
+    tracer: Tracer,
+    traced: bool,
+    history: List[Tuple[int, str, str]],
+    speculative: bool = False,
+):
+    """Run one task *attempt* end to end; returns ``None`` if it failed.
+
+    On success returns ``(metrics, payload, counters, delay, span)`` where
+    ``delay`` is the injected straggler slowdown (charged to the attempt's
+    compute time) and ``span`` is the attempt's — possibly no-op — span,
+    kept so a later speculative-race decision can mark the loser.
+
+    Failures come in two shapes, both appended to ``history`` as
+    ``(attempt, phase, error_repr)``:
+
+    * the failure injector declares the attempt dead *after* its work
+      (Hadoop's "died before commit"), or
+    * the task body raises.  :class:`~repro.errors.ExecutionError` is the
+      runtime's own contract-violation signal (bad partition index,
+      key-changing combiner) — deterministic, so it propagates unretried;
+      anything else is treated as a node fault and retried.
+    """
+    delay = straggler(phase, task_id, attempt) if straggler is not None else 0.0
+    attrs = {"speculative": True} if speculative else {}
+    with tracer.span(
+        f"{phase}:{task_id}", phase=phase, task_id=task_id, attempt=attempt,
+        **attrs,
+    ) as span:
+        try:
+            if phase == "map":
+                metrics, out, counters = _run_map_task(
+                    job, task_id, payload, n_reduce, has_combiner
+                )
+            else:
+                metrics, out, counters = _run_reduce_task(job, task_id, payload)
+        except ExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - modelled as a node fault
+            history.append((attempt, phase, repr(exc)))
+            span.attrs["status"] = "retried"
+            span.attrs["error"] = repr(exc)
+            return None
+        failed = injector is not None and injector(phase, task_id, attempt)
+        if failed:
+            history.append((attempt, phase, "injected task failure"))
+        metrics.compute_seconds += delay
+        if delay:
+            span.attrs["straggler_delay"] = delay
+        span.attrs["status"] = "retried" if failed else "ok"
+        if not failed and traced:
+            span.attrs.update(
+                input_records=metrics.input_records,
+                output_records=metrics.output_records,
+                output_bytes=metrics.output_bytes,
+                compute_seconds=metrics.compute_seconds,
+                counters=counters.as_dict(),
+            )
+    if failed:
+        return None
+    return metrics, out, counters, delay, span
 
 
 def _execute_task(
@@ -122,6 +203,9 @@ def _execute_task(
     injector: Optional[FailureInjector],
     max_attempts: int,
     traced: bool = False,
+    straggler: Optional[StragglerInjector] = None,
+    speculative: bool = False,
+    straggler_threshold: float = 0.1,
 ) -> _TaskOutcome:
     """Run one task — including its Hadoop-style retry loop — to completion.
 
@@ -132,46 +216,76 @@ def _execute_task(
     (modelling a task that died before its commit); a failed attempt's
     buffered output and counters are simply discarded.
 
-    With ``traced`` set, every *attempt* — retried ones included — is
-    recorded as a span in a task-local tracer and shipped back on the
-    outcome for the driver to adopt; a worker cannot reach the driver's
-    tracer, and this keeps failed attempts' costs visible even though
-    their output is discarded.
+    **Speculative execution** (Hadoop's straggler defence): when an
+    otherwise-successful attempt's injected slowdown exceeds
+    ``straggler_threshold``, a backup attempt is launched.  The race is
+    decided deterministically from the schedule — the backup starts at the
+    threshold and both attempts do identical work, so the backup wins iff
+    ``threshold + backup_delay < original_delay`` — which keeps results,
+    counters and traces bit-identical across executor backends.  The
+    loser's output and counters are discarded exactly like a failed
+    attempt's; only its span survives, marked ``status="speculative-loser"``.
+
+    With ``traced`` set, every *attempt* — retried and speculative ones
+    included — is recorded as a span in a task-local tracer and shipped
+    back on the outcome for the driver to adopt; a worker cannot reach the
+    driver's tracer, and this keeps discarded attempts' costs visible.
+
+    After ``max_attempts`` failures the task aborts the job with an
+    :class:`ExecutionError` carrying the full per-attempt failure history.
     """
     task_id, payload = item
     tracer = Tracer() if traced else NOOP_TRACER
     retries = 0
+    history: List[Tuple[int, str, str]] = []
     for attempt in range(1, max_attempts + 1):
-        with tracer.span(
-            f"{phase}:{task_id}", phase=phase, task_id=task_id, attempt=attempt
-        ) as span:
-            if phase == "map":
-                metrics, out, counters = _run_map_task(
-                    job, task_id, payload, n_reduce, has_combiner
-                )
-            else:
-                metrics, out, counters = _run_reduce_task(job, task_id, payload)
-            failed = injector is not None and injector(phase, task_id, attempt)
-            span.attrs["status"] = "retried" if failed else "ok"
-            if not failed and traced:
-                span.attrs.update(
-                    input_records=metrics.input_records,
-                    output_records=metrics.output_records,
-                    output_bytes=metrics.output_bytes,
-                    compute_seconds=metrics.compute_seconds,
-                    counters=counters.as_dict(),
-                )
-        if failed:
+        outcome = _run_attempt(
+            job, phase, task_id, payload, n_reduce, has_combiner,
+            injector, straggler, attempt, tracer, traced, history,
+        )
+        if outcome is None:
             retries += 1
             continue
+        metrics, out, counters, delay, span = outcome
+        backups = wins = 0
+        if speculative and straggler is not None and delay > straggler_threshold:
+            backups = 1
+            backup = _run_attempt(
+                job, phase, task_id, payload, n_reduce, has_combiner,
+                injector, straggler,
+                attempt + SPECULATIVE_ATTEMPT_OFFSET,
+                tracer, traced, history, speculative=True,
+            )
+            if backup is not None:
+                b_metrics, b_out, b_counters, b_delay, b_span = backup
+                if straggler_threshold + b_delay < delay:
+                    # Backup finishes first: commit it, discard the
+                    # straggling original (its span stays, marked loser).
+                    wins = 1
+                    span.attrs["status"] = "speculative-loser"
+                    metrics, out, counters = b_metrics, b_out, b_counters
+                    if traced:
+                        tracer.add(
+                            f"speculative-win:{phase}:{task_id}", "recovery",
+                            start=time.perf_counter(), duration=0.0,
+                            action="speculative-win", task_id=task_id,
+                            saved_seconds=delay - b_delay - straggler_threshold,
+                        )
+                else:
+                    b_span.attrs["status"] = "speculative-loser"
         return _TaskOutcome(
             metrics=metrics,
             payload=out,
             counters=counters,
             retries=retries,
             spans=tracer.spans(),
+            speculative_backups=backups,
+            speculative_wins=wins,
         )
-    raise ExecutionError(f"{phase} task {task_id} failed {max_attempts} attempts")
+    raise ExecutionError(
+        f"{phase} task {task_id} failed {max_attempts} attempts",
+        attempts=tuple(history),
+    )
 
 
 class SimulatedCluster:
@@ -205,12 +319,24 @@ class SimulatedCluster:
         max_task_attempts: int = 4,
         executor: "Optional[ExecutorKind | str | TaskExecutor]" = None,
         tracer: Optional[Tracer] = None,
+        straggler_injector: Optional[StragglerInjector] = None,
+        speculative: bool = False,
+        straggler_threshold: float = 0.1,
     ) -> None:
+        """``straggler_injector`` charges simulated extra seconds to task
+        attempts; with ``speculative`` on, attempts slowed past
+        ``straggler_threshold`` get a backup attempt and the faster one
+        wins (deterministically — see :func:`_execute_task`)."""
         if max_task_attempts < 1:
             raise ConfigError("max_task_attempts must be >= 1")
+        if straggler_threshold <= 0:
+            raise ConfigError("straggler_threshold must be > 0")
         self.spec = spec or ClusterSpec()
         self.failure_injector = failure_injector
         self.max_task_attempts = max_task_attempts
+        self.straggler_injector = straggler_injector
+        self.speculative = speculative
+        self.straggler_threshold = straggler_threshold
         self.executor = create_executor(
             executor if executor is not None else self.spec.executor,
             self.spec.executor_workers,
@@ -313,6 +439,9 @@ class SimulatedCluster:
             injector=self.failure_injector,
             max_attempts=self.max_task_attempts,
             traced=self.tracer.enabled,
+            straggler=self.straggler_injector,
+            speculative=self.speculative,
+            straggler_threshold=self.straggler_threshold,
         )
         return self.executor.run_tasks(fn, list(enumerate(payloads)))
 
@@ -328,6 +457,16 @@ class SimulatedCluster:
         if outcome.retries:
             counters.increment(
                 "mapreduce", f"{phase}_task_retries", outcome.retries
+            )
+        if outcome.speculative_backups:
+            counters.increment(
+                "mapreduce", f"{phase}_speculative_backups",
+                outcome.speculative_backups,
+            )
+        if outcome.speculative_wins:
+            counters.increment(
+                "mapreduce", f"{phase}_speculative_wins",
+                outcome.speculative_wins,
             )
         counters.merge(outcome.counters)
 

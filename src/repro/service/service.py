@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FilterConfig
 from repro.data.records import Record, RecordCollection
+from repro.errors import DeadlineExceededError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import ExecutorKind, TaskExecutor, create_executor
 from repro.observability.histogram import LatencyHistogram
@@ -58,6 +59,7 @@ class SimilarityService:
         cache_size: int = 1024,
         executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
         tracer: Optional[Tracer] = None,
+        clock=time.monotonic,
     ) -> None:
         """``executor`` sets the default backend for :meth:`search_batch`
         (``None`` = in-process, fragment-grouped only); ``cache_size=0``
@@ -73,6 +75,8 @@ class SimilarityService:
         self.latency = LatencyHistogram()
         self._cache: LRUCache[List[SearchHit]] = LRUCache(cache_size)
         self._executor = executor
+        #: injectable so deadline tests (and chaos replays) control time.
+        self._clock = clock
 
     # -- single probe --------------------------------------------------
     def search(
@@ -82,15 +86,22 @@ class SimilarityService:
         k: Optional[int] = None,
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         exclude: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> List[SearchHit]:
         """All indexed records with ``sim(query, record) ≥ θ``, best first.
 
         ``k`` truncates the (fully computed and cached) result list;
         ``exclude`` drops one record id — pass the query's own id when
-        probing by an indexed record.
+        probing by an indexed record.  ``deadline`` bounds the request in
+        seconds on the service clock: a probe that runs past it raises a
+        typed :class:`DeadlineExceededError` (the answer is discarded — a
+        client that stopped waiting must not receive a late result, and
+        the overrun is visible in ``service.deadline`` counters).
         """
         func = SimilarityFunction(func)
         started = time.perf_counter()
+        deadline_at = None if deadline is None else self._clock() + deadline
+        self._check_deadline(deadline_at)
         key = self._cache_key(tokens, theta, func)
         with self.tracer.span(
             "probe", phase="service", theta=theta, func=func.value,
@@ -111,6 +122,7 @@ class SimilarityService:
                 span.attrs["cache"] = "hit"
             span.attrs["hits"] = len(hits)
         self.latency.record(time.perf_counter() - started)
+        self._check_deadline(deadline_at)
         return _finish(hits, k, exclude)
 
     def search_rid(
@@ -133,6 +145,7 @@ class SimilarityService:
         k: Optional[int] = None,
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+        deadline: Optional[float] = None,
     ) -> List[List[SearchHit]]:
         """Probe many queries at once; results align with ``queries``.
 
@@ -146,6 +159,8 @@ class SimilarityService:
         """
         func = SimilarityFunction(func)
         started = time.perf_counter()
+        deadline_at = None if deadline is None else self._clock() + deadline
+        self._check_deadline(deadline_at)
         self.metrics.increment("service.batch", "batches")
         self.metrics.increment("service.batch", "queries", len(queries))
         with self.tracer.span(
@@ -175,6 +190,7 @@ class SimilarityService:
                     resolved[key] = hits
                     self._put(key, hits)
         self.latency.record(time.perf_counter() - started)
+        self._check_deadline(deadline_at)
         return [_finish(resolved[key], k, None) for key in keys]
 
     def _probe_misses(
@@ -262,6 +278,13 @@ class SimilarityService:
         return self.latency.snapshot()
 
     # -- internals -----------------------------------------------------
+    def _check_deadline(self, deadline_at: Optional[float]) -> None:
+        if deadline_at is not None and self._clock() >= deadline_at:
+            self.metrics.increment("service.deadline", "exceeded")
+            raise DeadlineExceededError(
+                "service request ran past its deadline; result abandoned"
+            )
+
     @staticmethod
     def _cache_key(
         tokens: Iterable[str], theta: float, func: SimilarityFunction

@@ -1,0 +1,146 @@
+"""CLI error-contract regression: every verb fails closed, one line, exit 1.
+
+Whatever a subcommand hits — a missing file, a corrupt snapshot, invalid
+parameters, a typed :class:`~repro.errors.ReproError` from deep inside an
+algorithm — the CLI's contract is uniform: exit code 1 and exactly one
+``error: ...`` line on stderr.  Never a traceback, never exit 0 with bad
+output on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import make_corpus, save_records
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.txt"
+    save_records(make_corpus("wiki", 40, seed=3), path)
+    return str(path)
+
+
+@pytest.fixture
+def index_file(tmp_path, corpus_file):
+    path = tmp_path / "corpus.idx"
+    assert main(["index", corpus_file, "--output", str(path)]) == 0
+    return str(path)
+
+
+def assert_one_line_error(capsys, argv, match=""):
+    """Run a CLI invocation expected to fail; pin the error contract."""
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 1
+    lines = [line for line in captured.err.splitlines() if line]
+    assert len(lines) == 1, f"expected one error line, got: {lines!r}"
+    assert lines[0].startswith("error:")
+    if match:
+        assert match in lines[0]
+    assert "Traceback" not in captured.err
+
+
+class TestEveryVerbFailsClosed:
+    def test_generate_unwritable_output(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["generate", "--records", "5",
+             "--output", str(tmp_path / "no-such-dir" / "x.txt")],
+        )
+
+    def test_stats_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(capsys, ["stats", str(tmp_path / "nope.txt")])
+
+    def test_join_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(capsys, ["join", str(tmp_path / "nope.txt")])
+
+    def test_join_invalid_theta(self, corpus_file, capsys):
+        assert_one_line_error(
+            capsys, ["join", corpus_file, "--theta", "1.5"], match="theta"
+        )
+
+    def test_topk_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(capsys, ["topk", str(tmp_path / "nope.txt")])
+
+    def test_estimate_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(capsys, ["estimate", str(tmp_path / "nope.txt")])
+
+    def test_index_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["index", str(tmp_path / "nope.txt"), "--output",
+             str(tmp_path / "out.idx")],
+        )
+
+    def test_search_missing_snapshot(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["search", str(tmp_path / "nope.idx"), "--query", "a b"],
+        )
+
+    def test_search_corrupt_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"not a snapshot")
+        assert_one_line_error(capsys, ["search", str(bad), "--query", "a b"])
+
+    def test_search_unknown_rid(self, index_file, capsys):
+        assert_one_line_error(
+            capsys,
+            ["search", index_file, "--rid", "999999"],
+            match="unknown --rid",
+        )
+
+    def test_search_missing_query_file(self, index_file, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["search", index_file, "--query-file", str(tmp_path / "nope.txt")],
+            match="query file",
+        )
+
+    def test_cluster_build_missing_input(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["cluster", "build", str(tmp_path / "nope.txt"),
+             "--output", str(tmp_path / "c")],
+        )
+
+    def test_cluster_search_missing_dir(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys,
+            ["cluster", "search", str(tmp_path / "nope"), "--query", "a b"],
+        )
+
+    def test_cluster_search_fail_shard_out_of_range(self, tmp_path,
+                                                    corpus_file, capsys):
+        cluster_dir = tmp_path / "cluster"
+        assert main(["cluster", "build", corpus_file, "--output",
+                     str(cluster_dir), "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert_one_line_error(
+            capsys,
+            ["cluster", "search", str(cluster_dir), "--query", "a b",
+             "--fail-shard", "9"],
+            match="out of range",
+        )
+
+    def test_cluster_status_missing_dir(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys, ["cluster", "status", str(tmp_path / "nope")]
+        )
+
+    def test_chaos_invalid_theta(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["chaos", "--scenario", "join", "--theta", "1.5"],
+            match="theta",
+        )
+
+    def test_trace_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert_one_line_error(capsys, ["trace", str(bad)])
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert_one_line_error(capsys, ["trace", str(tmp_path / "nope.jsonl")])

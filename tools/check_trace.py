@@ -9,6 +9,13 @@ in start order, parents first), and at least one root span exists.  With
 ``--expect-phases`` the named phases must each occur at least once; with
 ``--expect-retries`` at least N spans must be marked ``status="retried"``.
 
+Chaos traces get extra structural checks whenever their spans appear:
+every ``phase="fault"`` span must carry a ``kind`` attribute (which fault
+was injected) and every ``phase="recovery"`` span an ``action`` attribute
+(how the system recovered) — that pairing is what makes a chaos trace
+auditable.  ``--expect-recovery N`` additionally requires at least N
+recovery spans.
+
 Exit code 0 on a valid trace, 1 with one diagnostic per violation.
 
 Usage::
@@ -16,6 +23,8 @@ Usage::
     python tools/check_trace.py run.jsonl
     python tools/check_trace.py run.jsonl \
         --expect-phases pipeline job map reduce shuffle --expect-retries 2
+    python tools/check_trace.py chaos.jsonl \
+        --expect-phases fault recovery --expect-recovery 1
 """
 
 from __future__ import annotations
@@ -31,13 +40,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.observability.export import validate_jsonl_record  # noqa: E402
 
 
-def check_trace(path, expect_phases=(), expect_retries=0):
+def check_trace(path, expect_phases=(), expect_retries=0, expect_recovery=0):
     """Return a list of violation strings (empty = valid)."""
     errors = []
     seen_ids = set()
     phases = set()
     roots = 0
     retried = 0
+    recoveries = 0
     lines = 0
     try:
         handle = open(path, "r", encoding="utf-8")
@@ -73,6 +83,18 @@ def check_trace(path, expect_phases=(), expect_retries=0):
             phases.add(record["phase"])
             if record["attrs"].get("status") == "retried":
                 retried += 1
+            if record["phase"] == "fault" and "kind" not in record["attrs"]:
+                errors.append(
+                    f"line {lineno}: fault span {record['name']!r} has no "
+                    "'kind' attribute (which fault was injected?)"
+                )
+            if record["phase"] == "recovery":
+                recoveries += 1
+                if "action" not in record["attrs"]:
+                    errors.append(
+                        f"line {lineno}: recovery span {record['name']!r} has "
+                        "no 'action' attribute (how did the system recover?)"
+                    )
     if not lines:
         errors.append("trace is empty")
     elif not roots:
@@ -87,6 +109,10 @@ def check_trace(path, expect_phases=(), expect_retries=0):
         errors.append(
             f"expected >= {expect_retries} retried task spans, found {retried}"
         )
+    if recoveries < expect_recovery:
+        errors.append(
+            f"expected >= {expect_recovery} recovery spans, found {recoveries}"
+        )
     return errors
 
 
@@ -97,8 +123,11 @@ def main(argv=None) -> int:
                         help="phases that must appear at least once")
     parser.add_argument("--expect-retries", type=int, default=0,
                         help="minimum number of status=retried task spans")
+    parser.add_argument("--expect-recovery", type=int, default=0,
+                        help="minimum number of phase=recovery spans")
     args = parser.parse_args(argv)
-    errors = check_trace(args.trace, args.expect_phases, args.expect_retries)
+    errors = check_trace(args.trace, args.expect_phases, args.expect_retries,
+                         args.expect_recovery)
     if errors:
         for error in errors:
             print(f"check_trace: {error}", file=sys.stderr)
