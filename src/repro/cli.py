@@ -168,6 +168,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record per-probe spans (cache lookup, prefix "
                              "filter, positional bound, verification); "
                              "writes JSONL to PATH plus a Chrome trace twin")
+    search.add_argument("--probe-path", choices=["columnar", "legacy"],
+                        default="columnar",
+                        help="evaluator: columnar hot path (default) or the "
+                             "legacy reference path; results are identical")
 
     cluster = sub.add_parser(
         "cluster", help="sharded, replicated serving cluster (build/search/"
@@ -430,9 +434,11 @@ def _cmd_index(args) -> int:
     size = save_index(index, args.output)
     wall = time.perf_counter() - started
     stats = index.posting_stats()
+    columnar_mb = (stats["posting_bytes"] + stats["record_bytes"]) / 1e6
     print(
         f"indexed {stats['records']} records into {stats['fragments']} "
-        f"fragments ({stats['postings']} postings, vocab {stats['vocab']}) "
+        f"fragments ({stats['postings']} postings, vocab {stats['vocab']}, "
+        f"{columnar_mb:.2f} MB columnar) "
         f"in {wall:.2f}s -> {args.output} ({size/1e6:.2f} MB)",
         file=sys.stderr,
     )
@@ -478,7 +484,8 @@ def _cmd_search(args) -> int:
     from repro.service import SimilarityService
 
     tracer = Tracer() if args.trace else NOOP_TRACER
-    service = SimilarityService.load(args.index, tracer=tracer)
+    service = SimilarityService.load(args.index, tracer=tracer,
+                                     probe_path=args.probe_path)
     func = SimilarityFunction(args.func)
 
     if args.query_file:

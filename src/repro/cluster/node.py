@@ -1,14 +1,15 @@
 """Shard-local state: a fragment-sliced index and the node that serves it.
 
 A :class:`ShardSlice` is a :class:`~repro.service.index.SegmentIndex`
-restricted to the fragments a shard owns: it keeps posting lists for owned
-fragments only, plus the *full* rank tuple and segment metadata of every
-record that posts into them — which is exactly what the StrL/SegL/SegI/SegD
-lemmas and the final verification need, so a slice evaluates its candidates
-with the unmodified single-node code path.
+restricted to the fragments a shard owns: it keeps the columnar posting
+runs for owned fragments only, plus the *full* id column and segment bounds
+of every record that posts into them — which is exactly what the
+StrL/SegL/SegI/SegD lemmas and the final verification need, so a slice
+evaluates its candidates with the unmodified single-node code path (both
+probe paths included).
 
 The one thing a slice does differently is candidate *claiming*.  On a
-single node, a candidate's "first hit" is the globally smallest-rank common
+single node, a candidate's "first hit" is the globally smallest-id common
 prefix token (Theorem 1: each pair is generated in exactly one fragment).
 Across shards the same pair would collide on several shards' fragments, so
 each slice applies the claim rule:
@@ -16,7 +17,7 @@ each slice applies the claim rule:
     a slice claims candidate ``t`` iff the first common token between the
     probe prefix and ``t`` lies in a fragment this slice owns.
 
-The rule is locally checkable — the slice holds ``t``'s full rank tuple, so
+The rule is locally checkable — the slice holds ``t``'s full id column, so
 it can test whether any *earlier* probed token from a foreign fragment is in
 ``t`` — and it partitions every (query, candidate) pair to exactly one
 shard.  The claimed first-hit coordinates equal the single-node ones, so
@@ -36,38 +37,40 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FilterConfig
 from repro.errors import ClusterError, ShardDownError
 from repro.mapreduce.counters import Counters
 from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.service.columnar import FragmentPostings
 from repro.service.index import (
     EncodedQuery,
     FirstHit,
-    Posting,
     SearchHit,
     SegmentIndex,
     _bump,
 )
 from repro.similarity.functions import SimilarityFunction
+from repro.similarity.thresholds import prefix_length
 
 
 @dataclass
 class FragmentPayload:
     """One fragment's shippable state (the unit a migration moves).
 
-    ``postings`` is the fragment's inverted lists; ``records`` carries the
-    full rank tuple + segment map of every record posting in the fragment,
-    because the receiving slice may not know those records yet.
+    ``postings`` is the fragment's columnar inverted lists; ``records``
+    carries the full id column + flat segment bounds of every record
+    posting in the fragment, because the receiving slice may not know
+    those records yet.
     """
 
     fragment: int
-    postings: Dict[int, List[Posting]]
-    records: Dict[int, Tuple[Tuple[int, ...], Dict]]
+    postings: FragmentPostings
+    records: Dict[int, Tuple[Sequence[int], Tuple[int, ...]]]
 
     def n_postings(self) -> int:
-        return sum(len(plist) for plist in self.postings.values())
+        return len(self.postings)
 
 
 class ShardSlice(SegmentIndex):
@@ -94,29 +97,75 @@ class ShardSlice(SegmentIndex):
     ) -> "ShardSlice":
         """Slice a full index down to ``fragments``.
 
-        Postings are copied per owned fragment; record metadata (rank
-        tuples, segment maps) is shared with the source index — both are
-        immutable after insert, so sharing is safe and keeps an in-memory
-        cluster's footprint near one index's.
+        Posting columns are copied per owned fragment; record metadata (id
+        columns, segment bounds) is shared with the source index — both
+        are immutable after insert, so sharing is safe and keeps an
+        in-memory cluster's footprint near one index's.
         """
         slice_ = cls(
             index.order, index.partitioner, index.pivot_method, fragments
         )
+        slice_.probe_path = index.probe_path
         touched: set = set()
         for v in slice_._owned:
             source = index._postings[v]
-            slice_._postings[v] = {
-                token: list(plist) for token, plist in source.items()
-            }
-            for plist in source.values():
-                for rid, _pos in plist:
-                    touched.add(rid)
+            source.seal()
+            slice_._postings[v] = source.copy()
+            touched.update(source.rids)
         for rid in touched:
             slice_._ranks[rid] = index._ranks[rid]
-            slice_._segments[rid] = index._segments[rid]
+            slice_._segbounds[rid] = index._segbounds[rid]
         return slice_
 
     # -- the claim rule ------------------------------------------------
+    def _candidates_columnar(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> Dict[int, FirstHit]:
+        """Columnar twin of :meth:`_candidates` — same claim rule, scanned
+        over the flat posting runs."""
+        candidates: Dict[int, FirstHit] = {}
+        rejected: set = set()
+        foreign: List[int] = []
+        q_ids = query.ranks
+        if not q_ids:
+            return candidates
+        limit = min(prefix_length(func, theta, query.size), len(q_ids))
+        lookups = ceded = 0
+        ranks_of = self._ranks
+        owned = self._owned
+        for v, start, end in self.partitioner.split_bounds(q_ids[:limit]):
+            if v not in owned:
+                foreign.extend(q_ids[start:end])
+                continue
+            postings = self._postings[v]
+            if postings._pending:
+                postings.seal()
+            slots = postings._slots
+            offsets = postings.offsets
+            rids = postings.rids
+            positions = postings.positions
+            for qpos in range(start, end):
+                lookups += 1
+                slot = slots.get(q_ids[qpos])
+                if slot is None:
+                    continue
+                for k in range(offsets[slot], offsets[slot + 1]):
+                    rid = rids[k]
+                    if rid in candidates or rid in rejected:
+                        continue
+                    if foreign and _any_rank_present(foreign, ranks_of[rid]):
+                        rejected.add(rid)
+                        ceded += 1
+                    else:
+                        candidates[rid] = (v, qpos, positions[k])
+        _bump(counters, "posting_lookups", lookups)
+        _bump(counters, "ceded_candidates", ceded)
+        return candidates
+
     def _candidates(
         self,
         query: EncodedQuery,
@@ -126,9 +175,9 @@ class ShardSlice(SegmentIndex):
     ) -> Dict[int, FirstHit]:
         """Candidates whose globally-first prefix collision is owned here.
 
-        Probe tokens arrive in ascending rank order (fragments are rank
+        Probe tokens arrive in ascending id order (fragments are id
         ranges), so by the time an owned fragment's token is scanned,
-        ``foreign`` holds every smaller-rank probe token that lives on some
+        ``foreign`` holds every smaller-id probe token that lives on some
         other shard.  A record containing one of those tokens collides
         earlier on that other shard — it is that shard's candidate, not
         ours — which makes the per-shard candidate sets disjoint and their
@@ -137,12 +186,13 @@ class ShardSlice(SegmentIndex):
         candidates: Dict[int, FirstHit] = {}
         rejected: set = set()
         foreign: List[int] = []
+        postings_view = self._legacy_postings()
         for v, token, qpos in self._probe_tokens(query, theta, func):
             if v not in self._owned:
                 foreign.append(token)
                 continue
             _bump(counters, "posting_lookups")
-            for rid, pos in self._postings[v].get(token, ()):
+            for rid, pos in postings_view[v].get(token, ()):
                 if rid in candidates or rid in rejected:
                     continue
                 if foreign and _any_rank_present(foreign, self._ranks[rid]):
@@ -180,15 +230,11 @@ class ShardSlice(SegmentIndex):
         """Package one owned fragment for shipping to another shard."""
         if fragment not in self._owned:
             raise ClusterError(f"fragment {fragment} is not owned by this slice")
-        postings = {
-            token: list(plist)
-            for token, plist in self._postings[fragment].items()
-        }
-        records: Dict[int, Tuple[Tuple[int, ...], Dict]] = {}
-        for plist in postings.values():
-            for rid, _pos in plist:
-                if rid not in records:
-                    records[rid] = (self._ranks[rid], self._segments[rid])
+        postings = self._postings[fragment].copy()
+        records: Dict[int, Tuple[Sequence[int], Tuple[int, ...]]] = {}
+        for rid in postings.rids:
+            if rid not in records:
+                records[rid] = (self._ranks[rid], self._segbounds[rid])
         return FragmentPayload(fragment, postings, records)
 
     def install_fragment(self, payload: FragmentPayload) -> None:
@@ -198,36 +244,39 @@ class ShardSlice(SegmentIndex):
                 f"fragment {payload.fragment} is already owned by this slice"
             )
         self._owned.add(payload.fragment)
-        self._postings[payload.fragment] = {
-            token: list(plist) for token, plist in payload.postings.items()
-        }
-        for rid, (ranks, segments) in payload.records.items():
+        self._postings[payload.fragment] = payload.postings.copy()
+        for rid, (ranks, bounds) in payload.records.items():
             self._ranks.setdefault(rid, ranks)
-            self._segments.setdefault(rid, segments)
+            self._segbounds.setdefault(rid, bounds)
+        self._legacy_cache = None
 
     def drop_fragment(self, fragment: int) -> None:
         """Release a migrated-away fragment and garbage-collect its records.
 
         A record's metadata stays only while some *other* owned fragment
-        still posts it (its segment map tells us which fragments it
+        still posts it (its segment bounds tell us which fragments it
         touches).
         """
         if fragment not in self._owned:
             raise ClusterError(f"fragment {fragment} is not owned by this slice")
         self._owned.discard(fragment)
         departing = self._postings[fragment]
-        self._postings[fragment] = {}
-        for plist in departing.values():
-            for rid, _pos in plist:
-                if rid not in self._ranks:
-                    continue
-                if not any(v in self._owned for v in self._segments[rid]):
-                    del self._ranks[rid]
-                    del self._segments[rid]
+        departing.seal()
+        self._postings[fragment] = FragmentPostings()
+        for rid in set(departing.rids):
+            if rid not in self._ranks:
+                continue
+            bounds = self._segbounds[rid]
+            if not any(
+                bounds[k] in self._owned for k in range(0, len(bounds), 3)
+            ):
+                del self._ranks[rid]
+                del self._segbounds[rid]
+        self._legacy_cache = None
 
 
-def _any_rank_present(ranks: List[int], t_ranks: Tuple[int, ...]) -> bool:
-    """True if any of ``ranks`` occurs in the sorted tuple ``t_ranks``."""
+def _any_rank_present(ranks: List[int], t_ranks: Sequence[int]) -> bool:
+    """True if any of ``ranks`` occurs in the sorted id column ``t_ranks``."""
     for rank in ranks:
         i = bisect_left(t_ranks, rank)
         if i < len(t_ranks) and t_ranks[i] == rank:

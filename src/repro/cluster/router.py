@@ -80,6 +80,7 @@ from repro.mapreduce.executors import ExecutorKind, create_executor
 from repro.observability.histogram import LatencyHistogram
 from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.service.index import EncodedQuery, SearchHit
+from repro.service.vocab import TokenVocab
 from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import prefix_length
 
@@ -167,6 +168,7 @@ class ClusterRouter:
                 "thread backend"
             )
         self.order = order
+        self.vocab = TokenVocab(order)
         self.partitioner = partitioner
         self.plan = plan
         self.filters = filters if filters is not None else FilterConfig()
@@ -240,8 +242,23 @@ class ClusterRouter:
         with self._lock:
             self._heat.clear()
 
+    def storage_stats(self) -> Dict[str, int]:
+        """Cluster-wide columnar storage totals (summed over shards).
+
+        Each shard contributes its first replica's slice (replicas share
+        the slice object in this simulated cluster); ``posting_bytes`` /
+        ``record_bytes`` are actual array-buffer bytes, see
+        :meth:`repro.service.index.SegmentIndex.posting_stats`.
+        """
+        totals = {"postings": 0, "posting_bytes": 0, "record_bytes": 0}
+        for group in self._groups:
+            stats = group[0].slice.posting_stats()
+            for key in totals:
+                totals[key] += stats[key]
+        return totals
+
     def status(self) -> Dict:
-        """One JSON-safe snapshot: plan, health, heat, balance."""
+        """One JSON-safe snapshot: plan, health, heat, balance, storage."""
         report = self.heat_report()
         return {
             "shards": self.n_shards,
@@ -256,21 +273,19 @@ class ClusterRouter:
             "health": self.health_check(),
             "breakers": self.breaker_states(),
             "route": self.metrics.group(ROUTE_GROUP),
+            "storage": self.storage_stats(),
         }
 
     # -- query planning ------------------------------------------------
     def encode_query(self, tokens: Iterable[str]) -> EncodedQuery:
-        """Canonicalize probe tokens exactly like the single-node index."""
-        unique = set(tokens)
-        ranks: List[int] = []
-        unknown = 0
-        for token in unique:
-            if self.order.knows(token):
-                ranks.append(self.order.rank(token))
-            else:
-                unknown += 1
-        ranks.sort()
-        return EncodedQuery(tuple(ranks), unknown)
+        """Canonicalize probe tokens exactly like the single-node index.
+
+        Both delegate to the shared :class:`TokenVocab` over the same
+        :class:`GlobalOrder`, so router and slices agree on the interning
+        by construction.
+        """
+        ids, unknown = self.vocab.encode_known(tokens)
+        return EncodedQuery(tuple(ids), unknown)
 
     def target_fragments(
         self, query: EncodedQuery, theta: float, func: SimilarityFunction
@@ -285,7 +300,9 @@ class ClusterRouter:
             return ()
         limit = min(prefix_length(func, theta, query.size), len(query.ranks))
         prefix = query.ranks[:limit]
-        return tuple(v for v, _seg in self.partitioner.split(-1, prefix))
+        return tuple(
+            v for v, _start, _end in self.partitioner.split_bounds(prefix)
+        )
 
     def _target_shards(
         self, fragments: Sequence[int]

@@ -75,6 +75,31 @@ class VerticalPartitioner:
         """Partition id of a single token rank."""
         return bisect.bisect_right(self.cuts, rank)
 
+    def split_bounds(self, ranks: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Split a rank-encoded record into ``(partition, start, end)`` bounds.
+
+        The columnar twin of :meth:`split`: instead of materialising
+        :class:`Segment` objects it returns the half-open index ranges of
+        each non-empty segment within ``ranks``.  ``ahead`` of a segment is
+        its ``start`` and ``behind`` is ``len(ranks) - end``, so the full
+        ``segInfo`` is recoverable from the bounds plus the record length.
+        """
+        total = len(ranks)
+        result: List[Tuple[int, int, int]] = []
+        start = 0
+        cuts = self.cuts
+        for partition in range(self.n_partitions):
+            if partition < len(cuts):
+                end = bisect.bisect_left(ranks, cuts[partition], start)
+            else:
+                end = total
+            if end > start:
+                result.append((partition, start, end))
+            start = end
+            if start >= total:
+                break
+        return result
+
     def split(
         self, rid: int, ranks: Sequence[int], side: int = 0
     ) -> List[Tuple[int, Segment]]:
@@ -86,20 +111,16 @@ class VerticalPartitioner:
         tags the collection of origin for R-S joins.
         """
         total = len(ranks)
-        result: List[Tuple[int, Segment]] = []
-        start = 0
-        for partition in range(self.n_partitions):
-            if partition < len(self.cuts):
-                end = bisect.bisect_left(ranks, self.cuts[partition], start)
-            else:
-                end = total
-            if end > start:
-                info = SegmentInfo(
-                    rid=rid, str_len=total, ahead=start,
-                    behind=total - end, side=side,
-                )
-                result.append((partition, Segment(info, tuple(ranks[start:end]))))
-            start = end
-            if start >= total:
-                break
-        return result
+        return [
+            (
+                partition,
+                Segment(
+                    SegmentInfo(
+                        rid=rid, str_len=total, ahead=start,
+                        behind=total - end, side=side,
+                    ),
+                    tuple(ranks[start:end]),
+                ),
+            )
+            for partition, start, end in self.split_bounds(ranks)
+        ]

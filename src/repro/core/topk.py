@@ -14,7 +14,11 @@ When the corpus is already indexed for serving
 relaxation round then probes the standing index (one ``self_join`` per
 θ) instead of re-running the three-job pipeline — same exact pairs and
 scores, no repeated ordering/shuffle work
-(``tests/test_core_topk.py`` asserts bit-identical results).
+(``tests/test_core_topk.py`` asserts bit-identical results).  The
+``self_join`` rounds run on the index's columnar batch path (every
+record probed through each posting run in one pass, threshold algebra
+memoized across the whole batch), so relaxation rounds get the full
+columnar speedup for free.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ Example:
 """
 
 from repro.service.cache import LRUCache
+from repro.service.columnar import FragmentPostings
 from repro.service.index import EncodedQuery, SearchHit, SegmentIndex
 from repro.service.service import SimilarityService
 from repro.service.snapshot import (
@@ -27,15 +28,18 @@ from repro.service.snapshot import (
     load_index,
     save_index,
 )
+from repro.service.vocab import TokenVocab
 
 __all__ = [
     "EncodedQuery",
+    "FragmentPostings",
     "LRUCache",
     "SearchHit",
     "SegmentIndex",
     "SimilarityService",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "TokenVocab",
     "load_index",
     "save_index",
 ]

@@ -5,15 +5,19 @@ disjoint segments) is used offline as a *shuffle key*: fragments exist only
 for the duration of one filter job.  :class:`SegmentIndex` turns the same
 machinery into a *queryable index*:
 
-* the corpus is rank-encoded under one :class:`~repro.core.ordering.GlobalOrder`
-  and split at Even-TF pivots exactly as the filter job's map phase does;
-* every segment is posted into its fragment's inverted lists —
-  ``token rank → [(record id, position in segment), ...]`` — so a probe
-  touches only the fragments and posting lists its own prefix tokens hit;
-* each record keeps its full rank tuple and its per-fragment
-  :class:`~repro.core.partitioning.Segment` objects (the ``segInfo``
-  metadata of Definition 6), so the StrL/SegL/SegI/SegD lemmas of
-  :mod:`repro.core.filters` apply to probe/candidate pairs verbatim.
+* the corpus is interned under one :class:`~repro.service.vocab.TokenVocab`
+  (dense integer ids in global frequency order) and split at Even-TF pivots
+  exactly as the filter job's map phase does;
+* every fragment's postings live in a :class:`~repro.service.columnar.
+  FragmentPostings` — flat ``array`` columns mapping token id → a
+  contiguous ``(rid, pos)`` run — so a probe batch scans each posting run
+  with plain integer reads and zero per-entry allocations;
+* each record keeps its full id column (``array('l')``) and its per-fragment
+  segment *bounds* — flat ``(fragment, start, end)`` triples from which the
+  ``segInfo`` of Definition 6 (``str_len``, ``ahead``, ``behind``) is two
+  subtractions away — so the StrL/SegL/SegI/SegD lemmas of
+  :mod:`repro.core.filters` apply to probe/candidate pairs as pure integer
+  arithmetic.
 
 A probe is exact: candidate generation uses the record-level prefix filter
 (complete because the index stores *all* tokens while the probe scans only
@@ -24,6 +28,25 @@ survivors go through the same early-terminating merge + threshold rule as
 property-tests that ``probe`` returns precisely the partner set
 ``FSJoin.run`` produces, for several θ and similarity functions.
 
+Two probe paths share this contract and return bit-identical results:
+
+* ``probe_path="columnar"`` (the default) — batched candidate generation
+  over the flat posting columns, with the filter battery inlined and its
+  threshold algebra (``required_overlap``/``length_lower_bound``) cached
+  per partner size; this is the hot path.
+* ``probe_path="legacy"`` — the original object-per-segment evaluator,
+  kept as the reference the CI ``columnar-smoke`` job diffs against (it
+  reads memoized dict/:class:`~repro.core.partitioning.Segment` views of
+  the same columnar storage).
+
+**Result-ordering contract**: every probe's hit list is sorted by
+``(-score, rid)`` — descending score, ascending record id on ties — and
+``probe_batch`` returns lists aligned with its input queries in input
+order.  The order is deterministic on both probe paths and across the
+serial, thread and process fan-outs of
+:meth:`repro.service.service.SimilarityService.search_batch`
+(``tests/test_service_columnar.py`` regression-tests this).
+
 The index is θ- and function-agnostic: both are probe-time arguments, so
 one snapshot serves every threshold (this is what lets
 :func:`repro.core.topk.topk_similar_pairs` reuse it across relaxation
@@ -33,6 +56,7 @@ rounds).
 from __future__ import annotations
 
 import time
+from array import array
 from collections import Counter as TokenCounter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -44,10 +68,12 @@ from repro.core.ordering import GlobalOrder, compute_global_ordering
 from repro.core.partitioning import Segment, SegmentInfo, VerticalPartitioner
 from repro.core.pivots import PivotMethod, select_pivots
 from repro.data.records import Record, RecordCollection
-from repro.errors import DataError
+from repro.errors import ConfigError, DataError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.service.columnar import ID_TYPECODE, FragmentPostings
+from repro.service.vocab import TokenVocab
 from repro.similarity.functions import SimilarityFunction
 from repro.similarity.thresholds import (
     length_lower_bound,
@@ -65,6 +91,9 @@ Posting = Tuple[int, int]
 #: A candidate's first prefix collision: (fragment, query pos, segment pos).
 FirstHit = Tuple[int, int, int]
 
+#: Valid values of :attr:`SegmentIndex.probe_path`.
+PROBE_PATHS = ("columnar", "legacy")
+
 
 @dataclass(frozen=True)
 class SearchHit:
@@ -76,12 +105,17 @@ class SearchHit:
 
 @dataclass(frozen=True)
 class EncodedQuery:
-    """A probe after rank encoding.
+    """A probe after interning.
 
-    ``ranks`` are the query tokens known to the index's global ordering
-    (strictly increasing); ``n_unknown`` counts tokens outside it.  Unknown
-    tokens can match nothing, but they still enlarge the query set, so they
-    take part in every size-dependent bound.
+    ``ranks`` are the query tokens known to the index's vocabulary
+    (strictly increasing ids); ``n_unknown`` counts tokens outside it.
+    Unknown tokens can match nothing, but they still enlarge the query
+    set, so they take part in every size-dependent bound.
+
+    ``ranks`` stays a plain tuple — it is hashed by the cluster router's
+    deterministic retry backoff and compared by the dedup layers — while
+    :attr:`ids` offers the same ids as a cached ``array('l')`` column for
+    the kernels that want a buffer.
     """
 
     ranks: Tuple[int, ...]
@@ -90,6 +124,15 @@ class EncodedQuery:
     @property
     def size(self) -> int:
         return len(self.ranks) + self.n_unknown
+
+    @property
+    def ids(self) -> array:
+        """The query's id column (``array('l')`` view of ``ranks``, cached)."""
+        cached = self.__dict__.get("_ids")
+        if cached is None:
+            cached = array(ID_TYPECODE, self.ranks)
+            object.__setattr__(self, "_ids", cached)
+        return cached
 
 
 class SegmentIndex:
@@ -107,16 +150,21 @@ class SegmentIndex:
         pivot_method: PivotMethod = PivotMethod.EVEN_TF,
     ) -> None:
         self.order = order
+        self.vocab = TokenVocab(order)
         self.partitioner = partitioner
         self.pivot_method = PivotMethod(pivot_method)
-        #: rid → full rank tuple (strictly increasing).
-        self._ranks: Dict[int, Tuple[int, ...]] = {}
-        #: rid → {fragment id → segment} (``segInfo`` + tokens).
-        self._segments: Dict[int, Dict[int, Segment]] = {}
-        #: fragment id → token rank → postings.
-        self._postings: List[Dict[int, List[Posting]]] = [
-            {} for _ in range(partitioner.n_partitions)
+        #: which evaluator ``probe*`` uses: "columnar" (default) | "legacy".
+        self.probe_path: str = "columnar"
+        #: rid → full token-id column (strictly increasing ``array('l')``).
+        self._ranks: Dict[int, array] = {}
+        #: rid → flat ``(fragment, start, end)`` triples over the id column.
+        self._segbounds: Dict[int, Tuple[int, ...]] = {}
+        #: fragment id → columnar posting lists.
+        self._postings: List[FragmentPostings] = [
+            FragmentPostings() for _ in range(partitioner.n_partitions)
         ]
+        #: memoized dict/Segment views for the legacy probe path.
+        self._legacy_cache = None
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -137,20 +185,36 @@ class SegmentIndex:
         index = cls(order, VerticalPartitioner(cuts), pivot_method)
         for record in records:
             index._insert(record)
+        index._seal()
         return index
 
     def _insert(self, record: Record) -> None:
         if record.rid in self._ranks:
             raise DataError(f"record id {record.rid} already indexed")
-        ranks = self.order.encode(record)
-        self._ranks[record.rid] = ranks
-        segments: Dict[int, Segment] = {}
-        for v, segment in self.partitioner.split(record.rid, ranks):
-            segments[v] = segment
+        if record.rid.bit_length() >= 63:
+            raise DataError(
+                f"record id {record.rid} does not fit the index's 64-bit "
+                "posting columns"
+            )
+        try:
+            ids = self.vocab.encode_record(record.tokens)
+        except DataError as exc:
+            raise DataError(f"record {record.rid}: {exc}") from None
+        self._ranks[record.rid] = ids
+        bounds = self.partitioner.split_bounds(ids)
+        flat: List[int] = []
+        for v, start, end in bounds:
+            flat.extend((v, start, end))
             postings = self._postings[v]
-            for pos, token in enumerate(segment.tokens):
-                postings.setdefault(token, []).append((record.rid, pos))
-        self._segments[record.rid] = segments
+            for pos in range(end - start):
+                postings.add(ids[start + pos], record.rid, pos)
+        self._segbounds[record.rid] = tuple(flat)
+        self._legacy_cache = None
+
+    def _seal(self) -> None:
+        """Merge staged posting inserts into the flat columns."""
+        for postings in self._postings:
+            postings.seal()
 
     def apply_batch(self, new_records: Iterable[Record]) -> int:
         """Extend the index with new records (the incremental-join hook).
@@ -158,13 +222,14 @@ class SegmentIndex:
         Mirrors :class:`repro.core.incremental.IncrementalSelfJoin`:
         duplicate record ids raise :class:`DataError` *before* anything is
         inserted, so a rejected batch leaves the index untouched.  Tokens
-        outside the global ordering are appended after the existing ranks
+        outside the vocabulary are interned after every existing id
         (ordered among themselves by batch frequency) via
-        :meth:`GlobalOrder.extend`: existing ranks — and therefore the
-        existing postings and pivot cuts — stay valid, at the price of the
-        new tokens all landing in the last fragment.  Probe exactness only
-        needs *a* fixed total order, not a frequency-fresh one, so results
-        remain exact; rebuild periodically if fragment balance drifts.
+        :meth:`TokenVocab.extend`: existing ids — and therefore the
+        existing posting columns and pivot cuts — stay valid, at the price
+        of the new tokens all landing in the last fragment.  Probe
+        exactness only needs *a* fixed total order, not a frequency-fresh
+        one, so results remain exact; rebuild periodically if fragment
+        balance drifts.
         """
         batch = list(new_records)
         seen: set = set()
@@ -176,11 +241,12 @@ class SegmentIndex:
             token
             for record in batch
             for token in record.tokens
-            if not self.order.knows(token)
+            if not self.vocab.knows(token)
         )
-        self.order.extend(fresh.items())
+        self.vocab.extend(fresh.items())
         for record in batch:
             self._insert(record)
+        self._seal()
         return len(batch)
 
     # -- introspection -------------------------------------------------
@@ -204,40 +270,41 @@ class SegmentIndex:
             ranks = self._ranks[rid]
         except KeyError:
             raise DataError(f"no record with id {rid} in the index") from None
-        return self.order.decode(ranks)
+        return self.vocab.decode(ranks)
 
     def fragment_loads(self) -> List[int]:
         """Posting entries per fragment — the placement weights of
         :func:`repro.cluster.plan.plan_shards` (and a direct view of how
         evenly the pivots split the corpus)."""
-        return [
-            sum(len(plist) for plist in frag.values()) for frag in self._postings
-        ]
+        return [len(postings) for postings in self._postings]
 
     def posting_stats(self) -> Dict[str, int]:
-        """Aggregate index-shape numbers (for logs and benches)."""
+        """Aggregate index-shape numbers (for logs, benches and status).
+
+        ``posting_bytes`` and ``record_bytes`` are *actual* columnar
+        memory — summed ``array.buffer_info()[1] * itemsize`` over the
+        posting columns and the per-record id columns — not estimates.
+        """
+        self._seal()
         return {
             "records": len(self._ranks),
             "fragments": self.n_fragments,
-            "vocab": self.order.vocab_size,
-            "postings": sum(
-                len(plist) for frag in self._postings for plist in frag.values()
+            "vocab": self.vocab.size,
+            "postings": sum(len(postings) for postings in self._postings),
+            "posting_bytes": sum(
+                postings.nbytes() for postings in self._postings
+            ),
+            "record_bytes": sum(
+                column.buffer_info()[1] * column.itemsize
+                for column in self._ranks.values()
             ),
         }
 
     # -- probing -------------------------------------------------------
     def encode_query(self, tokens: Iterable[str]) -> EncodedQuery:
-        """Canonicalize probe tokens: dedupe, rank-encode, count unknowns."""
-        unique = set(tokens)
-        ranks: List[int] = []
-        unknown = 0
-        for token in unique:
-            if self.order.knows(token):
-                ranks.append(self.order.rank(token))
-            else:
-                unknown += 1
-        ranks.sort()
-        return EncodedQuery(tuple(ranks), unknown)
+        """Canonicalize probe tokens: dedupe, intern, count unknowns."""
+        ids, unknown = self.vocab.encode_known(tokens)
+        return EncodedQuery(tuple(ids), unknown)
 
     def probe(
         self,
@@ -270,15 +337,25 @@ class SegmentIndex:
 
         ``tracer``, when enabled, records the probe stages as spans:
         ``prefix-filter`` (posting scans), then the per-stage accumulations
-        of :meth:`_evaluate` (``positional-bound``, ``fragment-filters``,
-        ``verification``).  Tracing never changes results.
+        of the evaluator (``positional-bound``, ``fragment-filters``,
+        ``verification``).  Tracing never changes results, and both probe
+        paths emit the same span names.
         """
         func = SimilarityFunction(func)
         filters = filters if filters is not None else FilterConfig()
         tracer = tracer if tracer is not None else NOOP_TRACER
+        columnar = self._use_columnar()
         with tracer.span("prefix-filter", phase="service") as span:
-            candidates = self._candidates(query, theta, func, counters)
+            if columnar:
+                candidates = self._candidates_columnar(query, theta, func,
+                                                       counters)
+            else:
+                candidates = self._candidates(query, theta, func, counters)
             span.attrs["candidates"] = len(candidates)
+        if columnar:
+            return self._evaluate_columnar(
+                query, candidates, theta, func, filters, counters, tracer
+            )
         return self._evaluate(
             query, candidates, theta, func, filters, counters, tracer
         )
@@ -300,10 +377,35 @@ class SegmentIndex:
         ``posting_lookups`` counter makes the saving measurable).
         Filtering/verification then runs per query, identical to
         :meth:`probe_encoded`.
+
+        The returned lists align with ``queries`` (input order) and each
+        hit list follows the module's ``(-score, rid)`` ordering contract;
+        on the columnar path the grouped tokens are additionally scanned
+        in ascending id order, so each candidate's recorded first hit is
+        the globally smallest common prefix token — exactly what the
+        sequential probe records.
         """
         func = SimilarityFunction(func)
         filters = filters if filters is not None else FilterConfig()
         tracer = tracer if tracer is not None else NOOP_TRACER
+        if self._use_columnar():
+            with tracer.span("prefix-filter", phase="service",
+                             queries=len(queries)):
+                candidate_sets = self._batch_candidates_columnar(
+                    queries, theta, func, counters
+                )
+            # One threshold-algebra memo for the whole batch: τ(|q|, |t|)
+            # and the StrL lower bounds depend only on sizes, so queries
+            # share every hit.
+            tau_cache: Dict[Tuple[int, int], int] = {}
+            lower_cache: Dict[int, int] = {}
+            return [
+                self._evaluate_columnar(
+                    query, candidate_sets[qi], theta, func, filters, counters,
+                    tracer, tau_cache, lower_cache,
+                )
+                for qi, query in enumerate(queries)
+            ]
         with tracer.span("prefix-filter", phase="service", queries=len(queries)):
             # Fragment → token → (query index, token position in query).
             grouped: List[Dict[int, List[Tuple[int, int]]]] = [
@@ -313,8 +415,9 @@ class SegmentIndex:
                 for v, token, qpos in self._probe_tokens(query, theta, func):
                     grouped[v].setdefault(token, []).append((qi, qpos))
             candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
+            postings_view = self._legacy_postings()
             for v, token_map in enumerate(grouped):
-                postings = self._postings[v]
+                postings = postings_view[v]
                 for token, probes in token_map.items():
                     _bump(counters, "posting_lookups")
                     for rid, pos in postings.get(token, ()):
@@ -341,7 +444,9 @@ class SegmentIndex:
         is what lets :func:`repro.core.topk.topk_similar_pairs` relax the
         threshold without re-running the offline pipeline.
         """
-        queries = [EncodedQuery(self._ranks[rid], 0) for rid in self.rids()]
+        queries = [
+            EncodedQuery(tuple(self._ranks[rid]), 0) for rid in self.rids()
+        ]
         results = self.probe_batch(queries, theta, func, filters, counters)
         pairs: Dict[Tuple[int, int], float] = {}
         for rid, hits in zip(self.rids(), results):
@@ -352,30 +457,437 @@ class SegmentIndex:
                 pairs[key] = hit.score
         return pairs
 
-    # -- internals -----------------------------------------------------
+    # -- columnar hot path ---------------------------------------------
+    def _use_columnar(self) -> bool:
+        path = self.probe_path
+        if path == "columnar":
+            return True
+        if path == "legacy":
+            return False
+        raise ConfigError(
+            f"unknown probe_path {path!r}; expected one of {PROBE_PATHS}"
+        )
+
+    def _candidates_columnar(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> Dict[int, FirstHit]:
+        """Candidates colliding with the probe prefix, with their first hit.
+
+        Prefix tokens are scanned in ascending id order (fragments are id
+        ranges), so each candidate's recorded first hit is its globally
+        smallest common prefix token — the coordinates the positional
+        filter uses.
+        """
+        candidates: Dict[int, FirstHit] = {}
+        q_ids = query.ranks
+        lookups = 0
+        if q_ids:
+            limit = min(prefix_length(func, theta, query.size), len(q_ids))
+            for v, start, end in self.partitioner.split_bounds(q_ids[:limit]):
+                postings = self._postings[v]
+                if postings._pending:
+                    postings.seal()
+                slots = postings._slots
+                offsets = postings.offsets
+                rids = postings.rids
+                positions = postings.positions
+                for qpos in range(start, end):
+                    lookups += 1
+                    slot = slots.get(q_ids[qpos])
+                    if slot is None:
+                        continue
+                    for k in range(offsets[slot], offsets[slot + 1]):
+                        rid = rids[k]
+                        if rid not in candidates:
+                            candidates[rid] = (v, qpos, positions[k])
+        _bump(counters, "posting_lookups", lookups)
+        return candidates
+
+    def _batch_candidates_columnar(
+        self,
+        queries: Sequence[EncodedQuery],
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> List[Dict[int, FirstHit]]:
+        """Drive the whole probe batch through each posting run in one pass.
+
+        Stage 1 groups every query's prefix tokens per fragment; stage 2
+        walks each fragment's probed tokens in ascending id order, scans
+        the token's posting run *once*, and fans each ``(rid, pos)`` entry
+        out to all probing queries.  Ascending order makes each query's
+        first hit identical to the sequential probe's (smallest common
+        prefix token), which keeps ``probe_batch == [probe_encoded...]``
+        exact — including the positional filter's inputs.
+        """
+        grouped: List[Dict[int, List[Tuple[int, int]]]] = [
+            {} for _ in range(self.n_fragments)
+        ]
+        plen_cache: Dict[int, int] = {}
+        for qi, query in enumerate(queries):
+            q_ids = query.ranks
+            if not q_ids:
+                continue
+            size = query.size
+            plen = plen_cache.get(size)
+            if plen is None:
+                plen = plen_cache[size] = prefix_length(func, theta, size)
+            limit = min(plen, len(q_ids))
+            for v, start, end in self.partitioner.split_bounds(q_ids[:limit]):
+                token_map = grouped[v]
+                for qpos in range(start, end):
+                    token = q_ids[qpos]
+                    probes = token_map.get(token)
+                    if probes is None:
+                        token_map[token] = probes = []
+                    probes.append((qi, qpos))
+        candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
+        lookups = 0
+        for v, token_map in enumerate(grouped):
+            if not token_map:
+                continue
+            postings = self._postings[v]
+            if postings._pending:
+                postings.seal()
+            slots = postings._slots
+            offsets = postings.offsets
+            rids = postings.rids
+            positions = postings.positions
+            for token in sorted(token_map):
+                lookups += 1
+                slot = slots.get(token)
+                if slot is None:
+                    continue
+                probes = token_map[token]
+                for k in range(offsets[slot], offsets[slot + 1]):
+                    rid = rids[k]
+                    pos = positions[k]
+                    for qi, qpos in probes:
+                        candidates = candidate_sets[qi]
+                        if rid not in candidates:
+                            candidates[rid] = (v, qpos, pos)
+        _bump(counters, "posting_lookups", lookups)
+        return candidate_sets
+
+    def _evaluate_columnar(
+        self,
+        query: EncodedQuery,
+        candidates: Dict[int, FirstHit],
+        theta: float,
+        func: SimilarityFunction,
+        filter_config: FilterConfig,
+        counters: Optional[Counters],
+        tracer: Tracer = NOOP_TRACER,
+        tau_cache: Optional[Dict[Tuple[int, int], int]] = None,
+        lower_cache: Optional[Dict[int, int]] = None,
+    ) -> List[SearchHit]:
+        """The inlined filter battery + verification over columnar storage.
+
+        Decision-identical to the legacy :meth:`_evaluate` (same lemmas,
+        same merge bounds, same comparison counts) but with the
+        per-candidate overhead flattened:
+
+        * ``required_overlap``/``length_lower_bound`` are memoized per
+          size pair — one threshold-algebra call per distinct
+          ``(|q|, |t|)`` instead of three per candidate-fragment
+          (``probe_batch`` shares the memo across the whole batch);
+        * ``segInfo`` is recovered from the flat ``(fragment, start, end)``
+          bounds with integer subtraction — no Segment objects, no
+          attribute chains;
+        * counters accumulate in locals and flush once per probe.
+        """
+        if counters is not None:
+            counters.increment(PROBE_GROUP, "probes")
+        if not candidates:
+            return []
+        traced = tracer.enabled
+        positional_clock = _StageClock() if traced else None
+        fragment_clock = _StageClock() if traced else None
+        verify_clock = _StageClock() if traced else None
+        if query.n_unknown:
+            # The segment lemmas assume the segment token lists they see
+            # are complete; unknown probe tokens break that for the last
+            # fragment (see _query_segments), so fall back to StrL + the
+            # early-terminating verify — still exact, just less pruning.
+            filter_config = FilterConfig(
+                strl=filter_config.strl, segl=False, segi=False, segd=False,
+                early_verify=filter_config.early_verify,
+            )
+        strl = filter_config.strl
+        segl = filter_config.segl
+        segi = filter_config.segi
+        segd = filter_config.segd
+        early = filter_config.early_verify
+        positional = segi or segd
+        q_ranks = query.ranks
+        n_known = len(q_ranks)
+        n_unknown = query.n_unknown
+        size_q = query.size
+        ranks_of = self._ranks
+        bounds_of = self._segbounds
+        merge = bounded_merge_intersection
+        # Query fragment geometry: (fragment, start, end, behind) — ahead
+        # is `start`; unknown tokens sort last, so they pad every `behind`.
+        qgeo = [
+            (v, start, end, n_known - end + n_unknown)
+            for v, start, end in self.partitioner.split_bounds(q_ranks)
+        ]
+        qspan_by_v = {v: (start, end) for v, start, end, _behind in qgeo}
+        # Threshold algebra, memoized per size pair: τ(|q|, |t|) and the
+        # StrL lower bound of the larger side.
+        if tau_cache is None:
+            tau_cache = {}
+        if lower_cache is None:
+            lower_cache = {}
+        hits: List[SearchHit] = []
+        n_candidates = n_results = n_verified = 0
+        n_pruned_strl = n_pruned_positional = n_pruned_overlap = 0
+        n_pruned_segl = n_pruned_segi = n_pruned_segd = 0
+        n_filter_cmp = n_verify_cmp = 0
+        for rid, first_hit in candidates.items():
+            n_candidates += 1
+            t_ranks = ranks_of[rid]
+            size_t = len(t_ranks)
+            # Record-level StrL (Lemma 1) before any segment work.
+            if strl:
+                small, large = (
+                    (size_q, size_t) if size_q <= size_t else (size_t, size_q)
+                )
+                lower = lower_cache.get(large)
+                if lower is None:
+                    lower = lower_cache[large] = length_lower_bound(
+                        func, theta, large
+                    )
+                if small < lower:
+                    n_pruned_strl += 1
+                    continue
+            tau = tau_cache.get((size_q, size_t))
+            if tau is None:
+                tau = tau_cache[(size_q, size_t)] = required_overlap(
+                    func, theta, size_q, size_t
+                )
+            tb = bounds_of[rid]
+            if positional:
+                # PPJoin's positional filter at the first collision (see
+                # the legacy _positional_prune for the derivation).
+                if positional_clock:
+                    positional_clock.start()
+                v, qpos, tpos = first_hit
+                qstart, qend = qspan_by_v[v]
+                tstart = tend = 0
+                for k in range(0, len(tb), 3):
+                    if tb[k] == v:
+                        tstart, tend = tb[k + 1], tb[k + 2]
+                        break
+                q_behind = n_known - qend + n_unknown
+                t_behind = size_t - tend
+                head = qstart if qstart <= tstart else tstart
+                tail = q_behind if q_behind <= t_behind else t_behind
+                required = 1
+                if segi:
+                    bound = tau - head - tail
+                    if bound > required:
+                        required = bound
+                if segd:
+                    d_head = qstart - tstart
+                    if d_head < 0:
+                        d_head = -d_head
+                    d_tail = q_behind - t_behind
+                    if d_tail < 0:
+                        d_tail = -d_tail
+                    budget = (size_q + size_t - 2 * tau) - d_head - d_tail
+                    bound = -((budget - (qend - qstart) - (tend - tstart)) // 2)
+                    if bound > required:
+                        required = bound
+                i = qpos - qstart
+                upper = (
+                    min(i, tpos)
+                    + 1
+                    + min((qend - qstart) - i - 1, (tend - tstart) - tpos - 1)
+                )
+                if positional_clock:
+                    positional_clock.stop()
+                if upper < required:
+                    n_pruned_positional += 1
+                    continue
+            if segl or positional:
+                # SegL/SegI/SegD per shared fragment: a two-pointer walk
+                # over the (both ascending-by-fragment) bound lists.
+                if fragment_clock:
+                    fragment_clock.start()
+                survives = True
+                ti = 0
+                n_tb = len(tb)
+                for v, qstart, qend, q_behind in qgeo:
+                    while ti < n_tb and tb[ti] < v:
+                        ti += 3
+                    if ti >= n_tb:
+                        break
+                    if tb[ti] != v:
+                        continue
+                    tstart, tend = tb[ti + 1], tb[ti + 2]
+                    len_q_seg = qend - qstart
+                    len_t_seg = tend - tstart
+                    t_behind = size_t - tend
+                    head = qstart if qstart <= tstart else tstart
+                    tail = q_behind if q_behind <= t_behind else t_behind
+                    if segl:
+                        # Lemma 2: even full segment + head/tail overlap
+                        # cannot reach τ.
+                        budget = tau - head - tail
+                        if (
+                            len_q_seg if len_q_seg <= len_t_seg else len_t_seg
+                        ) < budget:
+                            n_pruned_segl += 1
+                            survives = False
+                            break
+                    if not positional:
+                        continue
+                    required = 1
+                    if segi:
+                        bound = tau - head - tail
+                        if bound > required:
+                            required = bound
+                    sd_budget = 0
+                    if segd:
+                        d_head = qstart - tstart
+                        if d_head < 0:
+                            d_head = -d_head
+                        d_tail = q_behind - t_behind
+                        if d_tail < 0:
+                            d_tail = -d_tail
+                        sd_budget = (
+                            (size_q + size_t - 2 * tau) - d_head - d_tail
+                        )
+                        bound = -((sd_budget - len_q_seg - len_t_seg) // 2)
+                        if bound > required:
+                            required = bound
+                    common, comparisons, completed = merge(
+                        q_ranks[qstart:qend],
+                        t_ranks[tstart:tend],
+                        required if early else 1,
+                    )
+                    n_filter_cmp += comparisons
+                    if not completed:
+                        # The merge was abandoned because even a full
+                        # remaining suffix match could not satisfy
+                        # SegI/SegD — the pair is provably below threshold.
+                        n_pruned_overlap += 1
+                        survives = False
+                        break
+                    if segi and common < tau - head - tail:
+                        n_pruned_segi += 1
+                        survives = False
+                        break
+                    if segd and len_q_seg + len_t_seg - 2 * common > sd_budget:
+                        n_pruned_segd += 1
+                        survives = False
+                        break
+                if fragment_clock:
+                    fragment_clock.stop()
+                if not survives:
+                    continue
+            if verify_clock:
+                verify_clock.start()
+            common, comparisons, _completed = merge(
+                q_ranks, t_ranks, tau if early else 1
+            )
+            n_verified += 1
+            n_verify_cmp += comparisons
+            if verify_clock:
+                verify_clock.stop()
+            score = verify_overlap(func, theta, common, size_q, size_t)
+            if score is not None:
+                hits.append(SearchHit(rid, score))
+                n_results += 1
+        if counters is not None:
+            bump = counters.increment
+            for name, amount in (
+                ("candidates", n_candidates),
+                ("pruned_strl", n_pruned_strl),
+                ("pruned_positional", n_pruned_positional),
+                ("pruned_segl", n_pruned_segl),
+                ("pruned_segi", n_pruned_segi),
+                ("pruned_segd", n_pruned_segd),
+                ("pruned_overlap_bound", n_pruned_overlap),
+                ("filter_token_comparisons", n_filter_cmp),
+                ("verified_pairs", n_verified),
+                ("verify_token_comparisons", n_verify_cmp),
+                ("results", n_results),
+            ):
+                if amount:
+                    bump(PROBE_GROUP, name, amount)
+        if traced:
+            positional_clock.emit(tracer, "positional-bound")
+            fragment_clock.emit(tracer, "fragment-filters")
+            verify_clock.emit(tracer, "verification")
+        hits.sort(key=lambda hit: (-hit.score, hit.rid))
+        return hits
+
+    # -- legacy reference path -----------------------------------------
+    def _legacy_postings(self) -> List[Dict[int, List[Posting]]]:
+        """Memoized dict-of-lists views of the posting columns."""
+        return self._legacy_views()[0]
+
+    def _legacy_segments(self) -> Dict[int, Dict[int, Segment]]:
+        """Memoized rid → {fragment → Segment} views of the bound triples."""
+        return self._legacy_views()[1]
+
+    def _legacy_views(self):
+        cache = self._legacy_cache
+        if cache is None:
+            postings = [fp.to_dict() for fp in self._postings]
+            segments = {
+                rid: self._segment_map(rid) for rid in self._ranks
+            }
+            cache = self._legacy_cache = (postings, segments)
+        return cache
+
+    def _segment_map(self, rid: int) -> Dict[int, Segment]:
+        """One record's ``{fragment → Segment}`` view (legacy shape)."""
+        ranks = self._ranks[rid]
+        total = len(ranks)
+        bounds = self._segbounds[rid]
+        return {
+            bounds[k]: Segment(
+                SegmentInfo(
+                    rid=rid,
+                    str_len=total,
+                    ahead=bounds[k + 1],
+                    behind=total - bounds[k + 2],
+                ),
+                tuple(ranks[bounds[k + 1]:bounds[k + 2]]),
+            )
+            for k in range(0, len(bounds), 3)
+        }
+
     def _probe_tokens(
         self, query: EncodedQuery, theta: float, func: SimilarityFunction
     ):
-        """Yield ``(fragment, token)`` for the query's prefix tokens.
+        """Yield ``(fragment, token, qpos)`` for the query's prefix tokens.
 
         The record-level prefix filter: if ``sim(q, t) ≥ θ`` then
         ``|q ∩ t| ≥ τ_min(|q|)``, and at most ``τ_min − 1`` of those common
         tokens can sit beyond the first ``|q| − τ_min + 1`` positions — so
         probing the prefix against the *full-token* postings cannot miss a
-        result.  Unknown tokens are modelled as ranks beyond the vocabulary
+        result.  Unknown tokens are modelled as ids beyond the vocabulary
         (they sort last), so the probed prefix is the first
-        ``min(P, known)`` known ranks.
+        ``min(P, known)`` known ids.
         """
         if not query.ranks:
             return
         limit = min(prefix_length(func, theta, query.size), len(query.ranks))
         prefix = query.ranks[:limit]
-        for v, segment in self.partitioner.split(-1, prefix):
+        for v, start, end in self.partitioner.split_bounds(prefix):
             # ``ahead`` of a prefix segment equals the token's global
             # position in the full query (a prefix is itself a prefix of
             # every segment it touches).
-            for offset, token in enumerate(segment.tokens):
-                yield v, token, segment.info.ahead + offset
+            for qpos in range(start, end):
+                yield v, prefix[qpos], qpos
 
     def _candidates(
         self,
@@ -383,7 +895,7 @@ class SegmentIndex:
         theta: float,
         func: SimilarityFunction,
         counters: Optional[Counters],
-    ) -> Dict[int, "FirstHit"]:
+    ) -> Dict[int, FirstHit]:
         """Candidates colliding with the probe prefix, with their first hit.
 
         The first collision's coordinates — fragment, position in the
@@ -391,16 +903,17 @@ class SegmentIndex:
         filter in :meth:`_evaluate`.
         """
         candidates: Dict[int, FirstHit] = {}
+        postings_view = self._legacy_postings()
         for v, token, qpos in self._probe_tokens(query, theta, func):
             _bump(counters, "posting_lookups")
-            for rid, pos in self._postings[v].get(token, ()):
+            for rid, pos in postings_view[v].get(token, ()):
                 candidates.setdefault(rid, (v, qpos, pos))
         return candidates
 
     def _query_segments(self, query: EncodedQuery) -> List[Tuple[int, Segment]]:
         """Split the query like an indexed record, sizes counting unknowns.
 
-        Unknown tokens are placed after every known rank, which makes them
+        Unknown tokens are placed after every known id, which makes them
         trailing members of the query's token sequence: every segment's
         ``str_len`` grows by ``n_unknown`` and every segment gains that
         many ``behind`` tokens, except that a segment in the *last*
@@ -435,7 +948,7 @@ class SegmentIndex:
     def _evaluate(
         self,
         query: EncodedQuery,
-        candidates: Dict[int, "FirstHit"],
+        candidates: Dict[int, FirstHit],
         theta: float,
         func: SimilarityFunction,
         filter_config: FilterConfig,
@@ -470,26 +983,26 @@ class SegmentIndex:
         qseg_by_fragment = dict(query_segments)
         positional = filter_config.segi or filter_config.segd
         size_q = query.size
-        min_partner = length_lower_bound(func, theta, size_q) if filter_config.strl else 0
+        segments_view = self._legacy_segments()
         hits: List[SearchHit] = []
         for rid, first_hit in candidates.items():
             _bump(counters, "candidates")
             t_ranks = self._ranks[rid]
             size_t = len(t_ranks)
-            # Record-level StrL (Lemma 1) before any segment work.
+            # Record-level StrL (Lemma 1) before any segment work: the
+            # *larger* side fixes the lower bound the smaller must meet.
             if filter_config.strl:
-                small, large = (size_q, size_t) if size_q <= size_t else (size_t, size_q)
-                lower = min_partner if large == size_t else length_lower_bound(
-                    func, theta, large
+                small, large = (
+                    (size_q, size_t) if size_q <= size_t else (size_t, size_q)
                 )
-                if small < lower:
+                if small < length_lower_bound(func, theta, large):
                     _bump(counters, "pruned_strl")
                     continue
             if positional:
                 if positional_clock:
                     positional_clock.start()
                 pruned_positional = self._positional_prune(
-                    first_hit, qseg_by_fragment, self._segments[rid], filters
+                    first_hit, qseg_by_fragment, segments_view[rid], filters
                 )
                 if positional_clock:
                     positional_clock.stop()
@@ -499,7 +1012,7 @@ class SegmentIndex:
             if fragment_clock:
                 fragment_clock.start()
             survives = self._survives_fragments(
-                query_segments, self._segments[rid], filters, counters
+                query_segments, segments_view[rid], filters, counters
             )
             if fragment_clock:
                 fragment_clock.stop()
@@ -523,7 +1036,7 @@ class SegmentIndex:
 
     @staticmethod
     def _positional_prune(
-        first_hit: "FirstHit",
+        first_hit: FirstHit,
         qseg_by_fragment: Dict[int, Segment],
         t_segments: Dict[int, Segment],
         filters: FragmentFilters,
@@ -597,7 +1110,7 @@ class SegmentIndex:
     def _verify(
         self,
         query: EncodedQuery,
-        t_ranks: Tuple[int, ...],
+        t_ranks: Sequence[int],
         size_t: int,
         theta: float,
         func: SimilarityFunction,
@@ -607,8 +1120,8 @@ class SegmentIndex:
         """Exact verification — ``verify_pair``'s early-terminating merge.
 
         Unknown query tokens intersect nothing, so the merge runs over the
-        known ranks while the threshold rule sees the full query size;
-        with no unknowns this is exactly
+        known ids while the threshold rule sees the full query size; with
+        no unknowns this is exactly
         ``verify_pair(q, t, θ, func, sorted_input=True)``.
         """
         size_q = query.size
@@ -623,6 +1136,49 @@ class SegmentIndex:
         _bump(counters, "verified_pairs")
         _bump(counters, "verify_token_comparisons", comparisons)
         return verify_overlap(func, theta, common, size_q, size_t)
+
+    # -- persistence (snapshot v3 payload) ------------------------------
+    def __getstate__(self):
+        self._seal()
+        state = dict(self.__dict__)
+        # Rebuilt on load: the vocab shares the order object, the legacy
+        # views are derived caches.
+        state.pop("vocab", None)
+        state.pop("_legacy_cache", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        state.setdefault("probe_path", "columnar")
+        if "_segments" in state:
+            # Snapshot v2 payload: dict-of-Segment metadata, dict-of-list
+            # postings, tuple rank encodings.  Convert to the columnar
+            # layout; results are identical by construction.
+            segments = state.pop("_segments")
+            state["_ranks"] = {
+                rid: array(ID_TYPECODE, ranks)
+                for rid, ranks in state["_ranks"].items()
+            }
+            state["_segbounds"] = {
+                rid: _bounds_from_segments(segmap)
+                for rid, segmap in segments.items()
+            }
+            state["_postings"] = [
+                FragmentPostings.from_dict(fragment)
+                for fragment in state["_postings"]
+            ]
+        self.__dict__.update(state)
+        self.vocab = TokenVocab(self.order)
+        self._legacy_cache = None
+
+
+def _bounds_from_segments(segmap: Dict[int, Segment]) -> Tuple[int, ...]:
+    """Flat ``(fragment, start, end)`` triples from a legacy segment map."""
+    flat: List[int] = []
+    for v in sorted(segmap):
+        info = segmap[v].info
+        start = info.ahead
+        flat.extend((v, start, start + len(segmap[v].tokens)))
+    return tuple(flat)
 
 
 class _StageClock:

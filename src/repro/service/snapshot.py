@@ -10,6 +10,13 @@ index.  A truncated file fails the outer header parse the same way.
 Version-1 snapshots (no digest) still load, with a ``RuntimeWarning``
 recommending a re-save.
 
+Version 3 (current) pickles the columnar index — flat ``array`` posting
+and rank columns — which serializes as machine bytes and is smaller than
+the version-2 dict-of-objects payload for the same corpus.  Version-2
+snapshots load transparently: the index's ``__setstate__`` detects the old
+layout and converts it on the fly (results identical by construction);
+re-save to upgrade.
+
 Writes go to a temporary sibling file first and are atomically swapped
 into place with :func:`os.replace` — the same write-then-swap convention
 :meth:`repro.mapreduce.hdfs.InMemoryDFS.write` follows for overwrites — so
@@ -30,7 +37,12 @@ from repro.errors import SnapshotError
 from repro.service.index import SegmentIndex
 
 SNAPSHOT_FORMAT = "repro-segment-index"
-SNAPSHOT_VERSION = 2
+#: v3: the columnar index payload (flat array posting/rank columns).  The
+#: envelope is unchanged since v2 — same digest check, same keys.
+SNAPSHOT_VERSION = 3
+#: The dict-of-Segment payload written before the columnar rewrite; loads
+#: transparently (``SegmentIndex.__setstate__`` converts the old layout).
+SNAPSHOT_VERSION_V2 = 2
 #: The digest-less layout still accepted (with a warning) by `load_index`.
 SNAPSHOT_VERSION_LEGACY = 1
 
@@ -85,7 +97,7 @@ def load_index(path: Union[str, Path]) -> SegmentIndex:
             stacklevel=2,
         )
         index = payload.get("index")
-    elif version == SNAPSHOT_VERSION:
+    elif version in (SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2):
         body = payload.get("index_bytes")
         if not isinstance(body, bytes):
             raise SnapshotError(f"snapshot at {path} carries no index payload")
@@ -107,8 +119,8 @@ def load_index(path: Union[str, Path]) -> SegmentIndex:
     else:
         raise SnapshotError(
             f"snapshot version mismatch at {path}: file has {version!r}, "
-            f"this build reads {SNAPSHOT_VERSION} — rebuild the index with "
-            "'repro index'"
+            f"this build reads {SNAPSHOT_VERSION_V2}–{SNAPSHOT_VERSION} — "
+            "rebuild the index with 'repro index'"
         )
     if not isinstance(index, SegmentIndex):
         raise SnapshotError(f"snapshot at {path} carries no index payload")

@@ -1,0 +1,292 @@
+"""Columnar hot path vs legacy reference path: bit-identical by contract.
+
+The columnar rewrite (flat array posting columns, batched candidate
+generation, inlined filter battery) must change *nothing* observable:
+probe results, batch results, self-join pairs and hit ordering all match
+the legacy evaluator exactly.  These tests pin that contract, the
+``probe_batch`` result-ordering guarantee across executor fan-outs, the
+byte-accurate ``posting_stats``, and snapshot v2→v3 compatibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.core import FilterConfig
+from repro.data.records import Record
+from repro.mapreduce.counters import Counters
+from repro.errors import ConfigError
+from repro.service import SegmentIndex, SimilarityService, load_index
+from repro.service.columnar import FragmentPostings
+from repro.service.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from tests.conftest import random_collection
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_collection(60, seed=41)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return SegmentIndex.build(corpus, n_vertical=5)
+
+
+def _with_path(index, path):
+    """Flip the probe path (restored by the caller via the same helper)."""
+    index.probe_path = path
+    return index
+
+
+class TestPathEquivalence:
+    @pytest.mark.parametrize("theta", [0.4, 0.6, 0.85])
+    @pytest.mark.parametrize("func", ["jaccard", "cosine", "dice"])
+    def test_probe_identical_across_paths(self, corpus, index, theta, func):
+        for record in corpus:
+            columnar = _with_path(index, "columnar").probe(
+                record.tokens, theta, func=func
+            )
+            legacy = _with_path(index, "legacy").probe(
+                record.tokens, theta, func=func
+            )
+            _with_path(index, "columnar")
+            assert columnar == legacy, f"rid {record.rid} diverged"
+
+    @pytest.mark.parametrize(
+        "filters",
+        [FilterConfig(), FilterConfig.none(), FilterConfig.only("strl"),
+         FilterConfig.only("segl"), FilterConfig.only("segi"),
+         FilterConfig.only("segd"),
+         FilterConfig(strl=True, segl=True, segi=True, segd=True,
+                      early_verify=False)],
+        ids=["all", "none", "strl", "segl", "segi", "segd", "no-early"],
+    )
+    def test_probe_identical_under_every_filter_config(self, corpus, index,
+                                                       filters):
+        for record in list(corpus)[:20]:
+            columnar = _with_path(index, "columnar").probe(
+                record.tokens, 0.5, filters=filters
+            )
+            legacy = _with_path(index, "legacy").probe(
+                record.tokens, 0.5, filters=filters
+            )
+            _with_path(index, "columnar")
+            assert columnar == legacy
+
+    def test_probe_batch_identical_across_paths(self, corpus, index):
+        queries = [index.encode_query(r.tokens) for r in corpus]
+        columnar = _with_path(index, "columnar").probe_batch(queries, 0.5)
+        legacy = _with_path(index, "legacy").probe_batch(queries, 0.5)
+        _with_path(index, "columnar")
+        assert columnar == legacy
+
+    def test_self_join_identical_across_paths(self, index):
+        columnar = _with_path(index, "columnar").self_join(0.6)
+        legacy = _with_path(index, "legacy").self_join(0.6)
+        _with_path(index, "columnar")
+        assert columnar == legacy
+
+    def test_unknown_token_probes_agree(self, index):
+        tokens = ["t001", "t002", "never-seen-a", "never-seen-b"]
+        columnar = _with_path(index, "columnar").probe(tokens, 0.3)
+        legacy = _with_path(index, "legacy").probe(tokens, 0.3)
+        _with_path(index, "columnar")
+        assert columnar == legacy
+
+    def test_comparison_counters_match_across_paths(self, corpus, index):
+        """The honest speedup metric: identical verify/filter comparison
+        totals on both paths (the columnar path is faster, not lazier)."""
+        totals = {}
+        for path in ("columnar", "legacy"):
+            counters = Counters()
+            _with_path(index, path)
+            for record in corpus:
+                index.probe(record.tokens, 0.5, counters=counters)
+            totals[path] = counters.group("service.probe")
+        _with_path(index, "columnar")
+        for key in ("verify_token_comparisons", "filter_token_comparisons",
+                    "verified_pairs", "candidates", "results",
+                    "posting_lookups"):
+            assert totals["columnar"][key] == totals["legacy"][key], key
+
+    def test_unknown_probe_path_is_rejected(self, index):
+        index.probe_path = "simd"
+        try:
+            with pytest.raises(ConfigError, match="unknown probe_path"):
+                index.probe(["t001"], 0.5)
+        finally:
+            index.probe_path = "columnar"
+
+
+class TestBatchOrderingContract:
+    """probe_batch: per-query hits sorted by (-score, rid), lists aligned
+    with input order, identical across serial/thread/process fan-out."""
+
+    @pytest.fixture(scope="class")
+    def queries(self, corpus):
+        return [list(r.tokens) for r in corpus]
+
+    def test_batch_equals_sequential_probes(self, corpus, index):
+        encoded = [index.encode_query(r.tokens) for r in corpus]
+        batch = index.probe_batch(encoded, 0.5)
+        for query, hits in zip(encoded, batch):
+            assert hits == index.probe_encoded(query, 0.5)
+
+    def test_hits_sorted_by_score_then_rid(self, corpus, index):
+        encoded = [index.encode_query(r.tokens) for r in corpus]
+        for hits in index.probe_batch(encoded, 0.3):
+            assert hits == sorted(hits, key=lambda h: (-h.score, h.rid))
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executor_fanout_preserves_order(self, index, queries, executor):
+        service = SimilarityService(index, cache_size=0)
+        fanned = service.search_batch(queries, 0.5, executor=executor)
+        baseline = service.search_batch(queries, 0.5, executor=None)
+        assert fanned == baseline
+        for hits in fanned:
+            assert hits == sorted(hits, key=lambda h: (-h.score, h.rid))
+
+
+class TestPostingStats:
+    def test_reports_actual_columnar_bytes(self, index):
+        stats = index.posting_stats()
+        assert stats["postings"] > 0
+        expected_posting = sum(fp.nbytes() for fp in index._postings)
+        assert stats["posting_bytes"] == expected_posting > 0
+        expected_record = sum(
+            col.buffer_info()[1] * col.itemsize
+            for col in index._ranks.values()
+        )
+        assert stats["record_bytes"] == expected_record > 0
+
+    def test_bytes_grow_with_corpus(self):
+        small = SegmentIndex.build(random_collection(10, seed=3), n_vertical=4)
+        large = SegmentIndex.build(random_collection(50, seed=3), n_vertical=4)
+        assert (large.posting_stats()["posting_bytes"]
+                > small.posting_stats()["posting_bytes"])
+
+
+class TestFragmentPostings:
+    def test_staged_entries_visible_after_seal(self):
+        fp = FragmentPostings()
+        fp.add(7, 100, 0)
+        fp.add(7, 101, 2)
+        fp.add(3, 100, 1)
+        assert len(fp) == 3
+        fp.seal()
+        assert fp.postings_of(7) == [(100, 0), (101, 2)]
+        assert fp.postings_of(3) == [(100, 1)]
+        assert fp.run(99) == (0, 0)
+
+    def test_seal_appends_after_existing_run(self):
+        fp = FragmentPostings()
+        fp.add(5, 1, 0)
+        fp.seal()
+        fp.add(5, 2, 3)
+        fp.add(4, 9, 1)
+        fp.seal()
+        assert fp.postings_of(5) == [(1, 0), (2, 3)]
+        assert list(fp.tokens) == [4, 5]
+
+    def test_copy_is_independent(self):
+        fp = FragmentPostings()
+        fp.add(1, 10, 0)
+        dup = fp.copy()
+        dup.add(2, 20, 0)
+        dup.seal()
+        assert len(fp) == 1 and len(dup) == 2
+
+    def test_pickle_round_trip(self):
+        fp = FragmentPostings()
+        for token, rid, pos in [(4, 1, 0), (4, 2, 1), (9, 3, 0)]:
+            fp.add(token, rid, pos)
+        clone = pickle.loads(pickle.dumps(fp))
+        assert clone.to_dict() == fp.to_dict()
+        assert clone.nbytes() == fp.nbytes()
+
+
+def _legacy_v2_state(index):
+    """Reshape a columnar index's state into the v2 (pre-columnar) layout."""
+    index._seal()
+    postings_view, segments_view = index._legacy_views()
+    state = dict(index.__dict__)
+    for derived in ("vocab", "_legacy_cache", "probe_path", "_segbounds"):
+        state.pop(derived)
+    state["_ranks"] = {rid: tuple(col) for rid, col in index._ranks.items()}
+    state["_segments"] = segments_view
+    state["_postings"] = [dict(p) for p in postings_view]
+    return state
+
+
+class TestSnapshotCompat:
+    def test_v3_round_trip_preserves_results(self, corpus, index, tmp_path):
+        service = SimilarityService(index)
+        path = tmp_path / "wiki.idx"
+        service.save(path)
+        restored = load_index(path)
+        assert restored.probe_path == "columnar"
+        for record in list(corpus)[:15]:
+            assert (restored.probe(record.tokens, 0.5)
+                    == index.probe(record.tokens, 0.5))
+
+    def test_v2_snapshot_loads_transparently(self, corpus, index, tmp_path,
+                                             monkeypatch):
+        """A pre-columnar snapshot (dict-of-Segment payload, version 2)
+        loads into the columnar layout with identical results."""
+        monkeypatch.setattr(
+            SegmentIndex, "__getstate__", _legacy_v2_state, raising=True
+        )
+        body = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        monkeypatch.undo()
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "version": 2,
+            "stats": {},
+            "digest": hashlib.sha256(body).hexdigest(),
+            "index_bytes": body,
+        }
+        path = tmp_path / "old.idx"
+        path.write_bytes(pickle.dumps(payload))
+        restored = load_index(path)
+        assert restored.probe_path == "columnar"
+        assert isinstance(restored._postings[0], FragmentPostings)
+        for record in list(corpus)[:15]:
+            assert (restored.probe(record.tokens, 0.5)
+                    == index.probe(record.tokens, 0.5))
+        rid = index.rids()[0]
+        assert restored.tokens_of(rid) == index.tokens_of(rid)
+
+    def test_v3_snapshot_smaller_than_v2_payload(self, index):
+        """The columnar payload serializes as machine bytes — smaller than
+        the dict-of-objects layout it replaced."""
+        columnar_bytes = len(pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL))
+        legacy_state = _legacy_v2_state(index)
+        legacy_bytes = len(
+            pickle.dumps(legacy_state, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert columnar_bytes < legacy_bytes
+
+    def test_growth_after_v2_load(self, index, tmp_path, monkeypatch):
+        """A converted index keeps working as a live index (apply_batch)."""
+        monkeypatch.setattr(
+            SegmentIndex, "__getstate__", _legacy_v2_state, raising=True
+        )
+        body = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        monkeypatch.undo()
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "version": 2,
+            "stats": {},
+            "digest": hashlib.sha256(body).hexdigest(),
+            "index_bytes": body,
+        }
+        path = tmp_path / "old.idx"
+        path.write_bytes(pickle.dumps(payload))
+        restored = load_index(path)
+        rid = max(restored.rids()) + 1
+        restored.apply_batch([Record.make(rid, ["t001", "brand-new-token"])])
+        hits = restored.probe(["t001", "brand-new-token"], 0.5)
+        assert any(hit.rid == rid for hit in hits)
