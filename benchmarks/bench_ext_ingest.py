@@ -1,0 +1,165 @@
+"""Extension: streaming ingest vs synchronous apply_batch (machine-readable).
+
+The ingest subsystem pays for durability — every batch is WAL-logged,
+memtables flush to persisted generations, and leveled compaction
+periodically rewrites them — so this bench measures what that costs and
+what it buys.  Both write paths are fed the same seeded workload with
+probes interleaved between batches (so probe latency is sampled *while*
+flushes and compactions are happening, not on a quiet index), and both
+must answer every probe identically; after the stream, a major
+compaction must leave the streaming index bit-identical to its own
+fresh-build snapshot.
+
+This bench emits ``benchmarks/results/BENCH_ingest.json`` — write
+records/sec and interleaved probe p50/p95 for the streaming path next to
+the synchronous ``SegmentIndex.apply_batch`` baseline — alongside the
+usual text table.
+
+Expected shape: the baseline writes faster (no WAL, no persistence); the
+streaming path stays within a small constant factor and keeps probe
+latency the same order of magnitude.  Assertions are deliberately weak
+(results identical, compactions actually happened, rates positive) so a
+loaded CI machine cannot flake the build.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+from _common import RESULTS_DIR, corpus, record_table
+from repro.data.records import RecordCollection
+from repro.ingest import IngestConfig, StreamingIndex
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.service import SegmentIndex
+
+THETA = 0.6
+N_RECORDS = 400
+N_BASE = 100
+N_VERTICAL = 8
+BATCH_SIZE = 16
+PROBES_PER_BATCH = 4
+MEMTABLE_LIMIT = 32
+FANOUT = 2
+
+JSON_PATH = RESULTS_DIR / "BENCH_ingest.json"
+
+
+def _workload(records):
+    base = RecordCollection(list(records)[:N_BASE])
+    tail = list(records)[N_BASE:]
+    batches = [tail[i:i + BATCH_SIZE] for i in range(0, len(tail), BATCH_SIZE)]
+    # Probe queries cycle through the full corpus so late batches are
+    # probed for as soon as they land.
+    queries = [records[i % len(records)].tokens
+               for i in range(len(batches) * PROBES_PER_BATCH)]
+    return base, batches, queries
+
+
+def _drive(index_like, batches, queries):
+    """Interleave writes and probes; return throughput + latency stats."""
+    write_s = 0.0
+    probe_ms = []
+    hits = []
+    next_query = 0
+    for batch in batches:
+        started = time.perf_counter()
+        index_like.apply_batch(batch)
+        write_s += time.perf_counter() - started
+        for _ in range(PROBES_PER_BATCH):
+            query = queries[next_query]
+            next_query += 1
+            started = time.perf_counter()
+            hits.append(index_like.probe(query, THETA))
+            probe_ms.append((time.perf_counter() - started) * 1000.0)
+    n_written = sum(len(b) for b in batches)
+    ordered = sorted(probe_ms)
+    return {
+        "write_s": round(write_s, 6),
+        "write_rps": round(n_written / write_s, 1),
+        "probe_p50_ms": round(ordered[len(ordered) // 2], 3),
+        "probe_p95_ms": round(ordered[int(len(ordered) * 0.95)], 3),
+        "probe_max_ms": round(ordered[-1], 3),
+    }, hits
+
+
+def test_ingest_throughput(benchmark):
+    records = corpus("wiki", N_RECORDS)
+    base, batches, queries = _workload(records)
+
+    def sweep():
+        streaming = StreamingIndex.create(
+            InMemoryDFS(), records=base, n_vertical=N_VERTICAL,
+            config=IngestConfig(memtable_limit=MEMTABLE_LIMIT, fanout=FANOUT),
+        )
+        stream_stats, stream_hits = _drive(streaming, batches, queries)
+        status = streaming.status()
+        streaming.compact(major=True)
+        structural = pickle.dumps(
+            streaming.generations[0].index
+        ) == pickle.dumps(streaming.to_segment_index())
+
+        baseline = SegmentIndex.build(base, n_vertical=N_VERTICAL)
+        base_stats, base_hits = _drive(baseline, batches, queries)
+        return {
+            "streaming": {**stream_stats,
+                          "flushes": status["flushes"],
+                          "compactions": status["compactions"],
+                          "generations": len(streaming.generations)},
+            "baseline": base_stats,
+            "identical": stream_hits == base_hits,
+            "structural": structural,
+        }
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    streaming, baseline = measured["streaming"], measured["baseline"]
+    durability_cost = baseline["write_rps"] / streaming["write_rps"]
+
+    document = {
+        "bench": "ingest",
+        "corpus": {
+            "name": "wiki", "n_records": N_RECORDS, "n_base": N_BASE,
+            "theta": THETA, "n_vertical": N_VERTICAL,
+            "batch_size": BATCH_SIZE, "probes_per_batch": PROBES_PER_BATCH,
+            "memtable_limit": MEMTABLE_LIMIT, "fanout": FANOUT,
+        },
+        "paths": {"streaming": streaming, "baseline": baseline},
+        "durability_cost_x": round(durability_cost, 2),
+        "probe_p95_ratio": round(
+            streaming["probe_p95_ms"] / baseline["probe_p95_ms"], 2
+        ),
+        "identical_results": measured["identical"],
+        "post_compaction_structural_identical": measured["structural"],
+    }
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    rows = [
+        {"path": name, **{k: m[k] for k in (
+            "write_rps", "probe_p50_ms", "probe_p95_ms", "probe_max_ms")}}
+        for name, m in (("streaming", streaming), ("baseline", baseline))
+    ]
+    rows.append({"path": "cost (x)", "write_rps": round(durability_cost, 2),
+                 "probe_p50_ms": "", "probe_p95_ms":
+                 document["probe_p95_ratio"], "probe_max_ms": ""})
+    record_table(
+        "ext_ingest",
+        rows,
+        f"Extension — streaming ingest (WAL+memtable+compaction) vs "
+        f"synchronous apply_batch, wiki-like n={N_RECORDS} "
+        f"(base {N_BASE}, batches of {BATCH_SIZE}), θ={THETA}, "
+        f"probes interleaved with writes",
+        columns=("path", "write_rps", "probe_p50_ms", "probe_p95_ms",
+                 "probe_max_ms"),
+    )
+
+    # Every interleaved probe answered identically on both write paths...
+    assert measured["identical"]
+    # ...and the compacted stream is byte-identical to its fresh build.
+    assert measured["structural"]
+    # The workload actually exercised the LSM machinery.
+    assert streaming["flushes"] >= 2
+    assert streaming["compactions"] >= 1
+    # Rates are sane; no perf floor — durability is allowed to cost.
+    assert streaming["write_rps"] > 0 and baseline["write_rps"] > 0
+    assert streaming["probe_p95_ms"] > 0

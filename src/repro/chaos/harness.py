@@ -26,8 +26,16 @@ contract the repo promises:
   disk must fail closed with a typed error on load, and a request that
   overruns its deadline (latency injected on the chaos clock) must raise
   :class:`~repro.errors.DeadlineExceededError` rather than return late.
+* :func:`run_ingest_scenario` — the streaming ingest subsystem: the
+  driver is killed at each of the three crash points of the write path
+  (a torn WAL batch, the manifest's pre-commit write, its post-commit
+  marker); after each kill ``StreamingIndex.recover`` must replay the
+  WAL, garbage-collect orphans, and — once the lost batches are
+  re-applied — answer probes bit-identically to an uninterrupted twin,
+  with the post-compaction index *structurally* identical (equal pickle
+  bytes) to a fresh index built from the same records.
 
-:func:`run_recovery_report` chains all three into the
+:func:`run_recovery_report` chains them all into the
 :class:`RecoveryReport` the ``repro chaos`` CLI prints.  Everything is a
 pure function of the seed: the same seed replays the same faults, the
 same recoveries, the same report.
@@ -41,7 +49,7 @@ from typing import Any, Dict, List, Optional
 from repro.chaos.schedule import ChaosClock, ChaosConfig, FaultInjector, FaultSchedule
 from repro.cluster import BreakerConfig, RetryPolicy, build_cluster
 from repro.core import FSJoin, FSJoinConfig
-from repro.data import make_corpus
+from repro.data import RecordCollection, make_corpus
 from repro.errors import (
     ClusterError,
     ConfigError,
@@ -445,10 +453,130 @@ def run_search_scenario(
     )
 
 
+def run_ingest_scenario(
+    seed: int,
+    theta: float = 0.6,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 120,
+    batch_size: int = 8,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Kill the ingest driver at every crash point; recovery must be exact.
+
+    An uninterrupted twin streams the same batches through a
+    :class:`~repro.ingest.StreamingIndex` (same seed, same config) and is
+    the bit-identical reference.  Then, for each kill point —
+
+    * ``wal-tear``: the batch's record entries land but the driver dies
+      before the commit marker (``after=1`` on the WAL segment append),
+      leaving a torn tail that replay must discard whole;
+    * ``pre-commit``: a flush persists its segment but dies writing the
+      manifest's ``CURRENT`` pointer — the commit record — so recovery
+      must roll back to the previous manifest, GC the orphan segment, and
+      re-apply the batches from the WAL;
+    * ``post-commit``: the commit record lands and the driver dies on the
+      ``COMMITTED`` audit marker — recovery must adopt the *new* manifest
+      and replay nothing it already covers;
+
+    — the harness restarts via :meth:`StreamingIndex.recover`, re-applies
+    whichever batches the kill lost (torn batches are atomic: either
+    every rid of a batch survives or none does), runs a major compaction,
+    and requires probe results equal to the twin's *and* the compacted
+    generation's pickle bytes equal to a fresh
+    :class:`~repro.service.SegmentIndex` built from the union — the
+    crash-safety drill's structural half.
+    """
+    import pickle
+
+    from repro.ingest import IngestConfig, StreamingIndex
+
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig())
+    injector = FaultInjector(schedule, tracer)
+    records = make_corpus("wiki", n_records, seed=seed % 977)
+    base = records[: n_records // 3]
+    stream = records[n_records // 3:]
+    batches = [stream[i:i + batch_size]
+               for i in range(0, len(stream), batch_size)]
+    queries = [records[i].tokens for i in range(0, len(records), 5)]
+    config = IngestConfig(memtable_limit=2 * batch_size, fanout=2)
+
+    def build(dfs):
+        return StreamingIndex.create(
+            dfs, records=RecordCollection(base), n_vertical=12,
+            config=config, tracer=tracer,
+        )
+
+    # The fault-free twin: same batches, no kills, one major compaction.
+    twin = build(InMemoryDFS())
+    for batch in batches:
+        twin.apply_batch(batch)
+    twin.compact(major=True)
+    expected = [twin.probe(q, theta, func) for q in queries]
+
+    mark = tracer.mark()
+    detail: Dict[str, Any] = {"batches": len(batches)}
+    matched = True
+    for point in ("wal-tear", "pre-commit", "post-commit"):
+        dfs = injector.attach_dfs(InMemoryDFS())
+        live = build(dfs)
+        for batch in batches[:-1]:
+            live.apply_batch(batch)
+        op, path = live.kill_points()[point]
+        injector.schedule_kill(op, path, after=1 if point == "wal-tear" else 0)
+        killed = False
+        try:
+            live.apply_batch(batches[-1])
+            live.flush()
+        except DFSError:
+            killed = True
+
+        recovered = StreamingIndex.recover(dfs, config=config, tracer=tracer)
+        lost = [b for b in batches if b[0].rid not in recovered]
+        # Batch atomicity: a lost batch must be lost *whole*.
+        torn_whole = all(
+            not any(r.rid in recovered for r in b) for b in lost
+        )
+        for batch in lost:
+            recovered.apply_batch(batch)
+        recovered.compact(major=True)
+
+        probes_ok = all(
+            recovered.probe(q, theta, func) == expected[i]
+            for i, q in enumerate(queries)
+        )
+        fresh = recovered.to_segment_index()
+        structural_ok = pickle.dumps(
+            recovered.generations[0].index
+        ) == pickle.dumps(fresh)
+        point_ok = (killed and torn_whole and probes_ok and structural_ok
+                    and len(recovered) == len(records))
+        matched = matched and point_ok
+        detail[point] = {
+            "killed": killed,
+            "lost_batches": len(lost),
+            "torn_whole": torn_whole,
+            "probes_ok": probes_ok,
+            "structural_ok": structural_ok,
+        }
+
+    return ScenarioReport(
+        scenario="ingest",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery=_recovery_from_spans(tracer, mark),
+        detail=detail,
+    )
+
+
 SCENARIOS = {
     "join": run_join_scenario,
     "cluster": run_cluster_scenario,
     "search": run_search_scenario,
+    "ingest": run_ingest_scenario,
 }
 
 

@@ -130,7 +130,7 @@ class FaultSchedule:
         """Does the ``call_index``-th ``op`` on ``path`` fail?"""
         if op == "read":
             rate = self.config.dfs_read_error_rate
-        elif op == "write":
+        elif op in ("write", "append"):
             rate = self.config.dfs_write_error_rate
         else:
             return False
@@ -205,7 +205,7 @@ class FaultInjector:
         self.clock = clock if clock is not None else ChaosClock()
         self.events: List[FaultEvent] = []
         self._dfs_calls: Dict[Tuple[str, str], int] = {}
-        self._kills: set = set()
+        self._kills: Dict[Tuple[str, str], int] = {}
 
     # -- recording -----------------------------------------------------
     def record(self, kind: str, target: str, detail: str = "") -> None:
@@ -233,13 +233,16 @@ class FaultInjector:
 
     def _dfs_hook(self, op: str, path: str) -> None:
         if (op, path) in self._kills:
-            self._kills.discard((op, path))
-            self.record("driver-kill", f"{op}:{path}",
-                        "pipeline driver killed at this operation")
-            raise DFSError(
-                f"injected driver kill during {op} of {path!r} "
-                f"(chaos seed {self.schedule.seed})"
-            )
+            if self._kills[(op, path)] > 0:
+                self._kills[(op, path)] -= 1
+            else:
+                del self._kills[(op, path)]
+                self.record("driver-kill", f"{op}:{path}",
+                            "pipeline driver killed at this operation")
+                raise DFSError(
+                    f"injected driver kill during {op} of {path!r} "
+                    f"(chaos seed {self.schedule.seed})"
+                )
         key = (op, path)
         index = self._dfs_calls.get(key, 0)
         self._dfs_calls[key] = index + 1
@@ -250,14 +253,17 @@ class FaultInjector:
                 f"(chaos seed {self.schedule.seed}, call {index})"
             )
 
-    def schedule_kill(self, op: str, path: str) -> None:
+    def schedule_kill(self, op: str, path: str, after: int = 0) -> None:
         """Arm a one-shot driver kill: the next ``op`` on ``path`` raises.
 
         This is how the harness murders a pipeline *mid-run* at a precise,
         replayable point — everything materialised before the kill
         survives on the DFS, which is exactly what ``resume`` recovers
-        from."""
-        self._kills.add((op, path))
+        from.  ``after=N`` lets the first N matching operations through
+        before firing, which is how the ingest drill tears a WAL batch:
+        with ``after=1`` the batch's record append lands but its commit
+        marker dies, leaving an uncommitted tail for replay to discard."""
+        self._kills[(op, path)] = after
 
     def corrupt(self, dfs: InMemoryDFS, path: str) -> None:
         """Silently corrupt one DFS file (digest left stale) and log it."""

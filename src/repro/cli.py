@@ -10,6 +10,10 @@ Subcommands:
 * ``estimate`` — sampling-based estimate of the join's result count;
 * ``index`` — build a persistent similarity-search index (serving layer);
 * ``search`` — probe an index file and print the exact hits as JSON;
+* ``ingest`` — stream a corpus through the WAL + memtable + compaction
+  write path and print ingest statistics; ``--verify`` checks the streamed
+  index is bit-identical to an offline build, ``--snapshot`` saves it for
+  ``repro search``;
 * ``cluster`` — sharded, replicated serving: ``build`` a cluster directory,
   ``search`` it scatter-gather (with ``--fail-shard`` failure injection),
   inspect ``status``, or replay skewed traffic with ``serve-sim``
@@ -45,6 +49,8 @@ Examples::
         --fail-shard 1
     python -m repro cluster serve-sim wiki.cluster --probes 500 --zipf 1.2 \\
         --rebalance
+    python -m repro ingest wiki.txt --base 100 --batch-size 32 --verify
+    python -m repro chaos --seed 7 --scenario ingest
     python -m repro chaos --seed 7
     python -m repro chaos --seed 7 --scenario join --trace chaos.jsonl
     python -m repro trace run.jsonl --chrome run.chrome.json
@@ -244,6 +250,46 @@ def _build_parser() -> argparse.ArgumentParser:
     cserve.add_argument("--skew-threshold", type=float, default=1.5)
     cserve.add_argument("--fail-shard", type=int, metavar="SHARD",
                         help="kill replica 0 of this shard before the replay")
+    cserve.add_argument("--ingest-records", type=int, default=0,
+                        metavar="N",
+                        help="attach a streaming ingest tier and write N "
+                             "fresh records mid-replay (probes keep "
+                             "answering exactly while writes land)")
+    cserve.add_argument("--ingest-batch", type=int, default=16,
+                        metavar="M", help="ingest batch size (default 16)")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a corpus through the WAL + memtable + compaction "
+             "write path and print ingest statistics",
+    )
+    ingest.add_argument("input", help="corpus file to stream in")
+    ingest.add_argument("--base", type=int, default=0, metavar="N",
+                        help="records bootstrapped offline as generation 0 "
+                             "(the rest stream through the WAL; default 0)")
+    ingest.add_argument("--batch-size", type=int, default=32)
+    ingest.add_argument("--memtable-limit", type=int, default=64,
+                        help="records the memtable absorbs before an "
+                             "automatic flush (default 64)")
+    ingest.add_argument("--fanout", type=int, default=4,
+                        help="leveled-compaction fanout (default 4)")
+    ingest.add_argument("--vertical", type=int, default=30)
+    ingest.add_argument("--theta", type=float, default=0.6,
+                        help="threshold for the --verify probe sweep")
+    ingest.add_argument("--verify", action="store_true",
+                        help="after the stream: major-compact and check the "
+                             "result is bit-identical to a fresh offline "
+                             "index over the same records (both probe paths)")
+    ingest.add_argument("--snapshot", metavar="PATH",
+                        help="save the final index as a regular snapshot "
+                             "loadable by 'repro search'")
+    ingest.add_argument("--executor", choices=[k.value for k in ExecutorKind],
+                        default="serial",
+                        help="executor compaction merges run on")
+    ingest.add_argument("--trace", metavar="PATH",
+                        help="record ingest spans (wal-append, "
+                             "memtable-apply, flush, compaction) as JSONL "
+                             "plus a Chrome trace twin")
 
     chaos = sub.add_parser(
         "chaos", help="seeded chaos drill: inject faults, verify recovery"
@@ -252,7 +298,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chaos seed; the same seed injects exactly the "
                             "same faults on every run")
     chaos.add_argument("--scenario", choices=("join", "search", "cluster",
-                                              "all"),
+                                              "ingest", "all"),
                        default="all",
                        help="which layer to drill (default: all)")
     chaos.add_argument("--theta", type=float, default=0.7)
@@ -636,13 +682,45 @@ def _cmd_cluster_serve_sim(args) -> int:
     probe_rids = rng.choices(rids, weights=weights, k=args.probes)
     tokens = {rid: router.tokens_of(rid) for rid in set(probe_rids)}
 
+    # --ingest-records: a streaming write tier joins the cluster and the
+    # replay interleaves its batches with the probes — writes land while
+    # reads keep flowing, which is the whole point of the ingest path.
+    ingest_batches = []
+    if args.ingest_records:
+        from repro.data import Record, make_corpus
+        from repro.ingest import StreamingIndex
+        from repro.mapreduce.hdfs import InMemoryDFS
+
+        floor = max(rids) + 1 if rids else 0
+        fresh = [
+            Record(floor + record.rid, record.tokens)
+            for record in make_corpus(
+                "wiki", args.ingest_records, seed=args.seed + 1
+            )
+        ]
+        streaming = StreamingIndex.attach(
+            InMemoryDFS(), "ingest", router.order, router.partitioner
+        )
+        router.attach_ingest(streaming)
+        ingest_batches = [
+            fresh[i:i + args.ingest_batch]
+            for i in range(0, len(fresh), args.ingest_batch)
+        ]
+
     def replay() -> float:
+        batches = list(ingest_batches)
+        every = max(1, len(probe_rids) // (len(batches) or 1))
         started = time.perf_counter()
-        for rid in probe_rids:
+        for i, rid in enumerate(probe_rids):
+            if batches and i % every == 0:
+                router.apply_batch(batches.pop(0))
             router.search(tokens[rid], args.theta, func=func)
+        while batches:
+            router.apply_batch(batches.pop(0))
         return time.perf_counter() - started
 
     wall = replay()
+    ingest_batches = []  # the writes are in; a --rebalance replay is read-only
     before = router.heat_report()
     document = {
         "probes": args.probes,
@@ -656,6 +734,14 @@ def _cmd_cluster_serve_sim(args) -> int:
         "heat_max_over_mean": round(before.max_over_mean, 4),
         "route": router.metrics.group("cluster.route"),
     }
+    if args.ingest_records:
+        status = router.status()["ingest"]
+        document["ingest"] = {
+            "records": status["records"],
+            "flushes": status["flushes"],
+            "compactions": status["compactions"],
+            "manifest_version": status["manifest_version"],
+        }
     if args.rebalance:
         moves = router.rebalance(skew_threshold=args.skew_threshold)
         router.reset_heat()
@@ -671,6 +757,101 @@ def _cmd_cluster_serve_sim(args) -> int:
             "heat_cv_after": round(after.cv, 4),
             "heat_max_over_mean_after": round(after.max_over_mean, 4),
         }
+    print(json.dumps(document))
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import json
+    import pickle
+
+    from repro.data import RecordCollection
+    from repro.errors import ConfigError
+    from repro.ingest import IngestConfig, StreamingIndex
+    from repro.mapreduce.hdfs import InMemoryDFS
+    from repro.service import save_index
+
+    records = load_records(args.input)
+    if not 0 <= args.base <= len(records):
+        raise ConfigError(
+            f"--base {args.base} out of range (corpus has "
+            f"{len(records)} records)"
+        )
+    base = RecordCollection(records[:args.base])
+    stream = records[args.base:]
+
+    tracer = Tracer() if args.trace else NOOP_TRACER
+    config = IngestConfig(
+        memtable_limit=args.memtable_limit,
+        fanout=args.fanout,
+        executor=args.executor,
+    )
+    streaming = StreamingIndex.create(
+        InMemoryDFS(),
+        records=base if len(base) else None,
+        n_vertical=args.vertical,
+        config=config,
+        tracer=tracer,
+    )
+    started = time.perf_counter()
+    for i in range(0, len(stream), args.batch_size):
+        streaming.apply_batch(stream[i:i + args.batch_size])
+    wall = time.perf_counter() - started
+
+    status = streaming.status()
+    document = {
+        "records": status["records"],
+        "base": len(base),
+        "streamed": len(stream),
+        "batches": -(-len(stream) // args.batch_size) if stream else 0,
+        "wall_s": round(wall, 4),
+        "write_throughput_rps": round(len(stream) / wall, 1) if wall else None,
+        "flushes": status["flushes"],
+        "compactions": status["compactions"],
+        "generations": status["generations"],
+        "memtable": status["memtable"],
+        "pivot_epoch": status["pivot_epoch"],
+        "manifest_version": status["manifest_version"],
+        "wal": status["wal"],
+    }
+
+    if args.verify:
+        from repro.service.index import PROBE_PATHS
+
+        streaming.compact(major=True)
+        offline = streaming.to_segment_index()
+        structural = pickle.dumps(
+            streaming.generations[0].index
+        ) == pickle.dumps(offline)
+        probe_mismatches = 0
+        sample = records[::max(1, len(records) // 50)]
+        for path in PROBE_PATHS:
+            streaming.probe_path = path
+            offline.probe_path = path
+            for record in sample:
+                if streaming.probe(record.tokens, args.theta) != offline.probe(
+                    record.tokens, args.theta
+                ):
+                    probe_mismatches += 1
+        document["verify"] = {
+            "structural_identical": structural,
+            "probes": len(sample) * len(PROBE_PATHS),
+            "probe_mismatches": probe_mismatches,
+            "ok": structural and probe_mismatches == 0,
+        }
+        if not document["verify"]["ok"]:
+            print(json.dumps(document))
+            print("error: ingest verification failed — streamed index "
+                  "diverges from the offline build", file=sys.stderr)
+            return 1
+
+    if args.snapshot:
+        size = save_index(streaming.to_segment_index(), args.snapshot)
+        document["snapshot"] = {"path": args.snapshot,
+                                "bytes": size}
+    if args.trace:
+        _export_trace(tracer, args.trace)
+        _print_phase_breakdown(tracer)
     print(json.dumps(document))
     return 0
 
@@ -744,6 +925,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "index": _cmd_index,
     "search": _cmd_search,
+    "ingest": _cmd_ingest,
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

@@ -37,7 +37,7 @@ from repro.cluster.failover import (
     CircuitBreaker,
     RetryPolicy,
 )
-from repro.cluster.node import FragmentPayload, ShardNode, ShardSlice
+from repro.cluster.node import FragmentPayload, IngestNode, ShardNode, ShardSlice
 from repro.cluster.plan import ShardPlan, plan_shards
 from repro.cluster.router import ClusterRouter, Migration, PartialSearchResult
 
@@ -47,6 +47,7 @@ __all__ = [
     "CircuitBreaker",
     "ClusterRouter",
     "FragmentPayload",
+    "IngestNode",
     "Migration",
     "PartialSearchResult",
     "RetryPolicy",

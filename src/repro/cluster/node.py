@@ -351,3 +351,68 @@ class ShardNode:
             f"ShardNode({self.name}, {state}, "
             f"fragments={sorted(self.slice.owned_fragments)})"
         )
+
+
+class IngestNode:
+    """The write tier as a routable scatter participant.
+
+    Wraps a :class:`~repro.ingest.streaming.StreamingIndex` with the same
+    surface the router expects of a :class:`ShardNode` — liveness, fault
+    hook, counters, ``probe`` — so freshly ingested records are served by
+    one extra scatter leg.  Exactness needs no claim rule here: the
+    ingest tier's record ids are disjoint from every shard's (the router
+    rejects duplicates at admission), and the streaming index is exact
+    over its own records, so gather stays concat-and-sort, dedup-free.
+    """
+
+    shard_id = -1
+    replica_id = 0
+
+    def __init__(self, streaming) -> None:
+        self.streaming = streaming
+        self.alive = True
+        self.counters = Counters()
+        #: same contract as :attr:`ShardNode.fault_hook`.
+        self.fault_hook = None
+
+    @property
+    def name(self) -> str:
+        return "ingest/r0"
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def restore(self) -> None:
+        self.alive = True
+
+    def ping(self) -> bool:
+        return self.alive
+
+    def probe(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        filters: Optional[FilterConfig] = None,
+        tracer: Tracer = NOOP_TRACER,
+    ) -> List[SearchHit]:
+        if not self.alive:
+            raise ShardDownError(f"{self.name} is down")
+        if self.fault_hook is not None:
+            self.fault_hook(self)
+        self.counters.increment("cluster.node", "probes")
+        return self.streaming.probe_encoded(
+            query, theta, func, filters, self.counters, tracer
+        )
+
+    def tokens_of(self, rid: int) -> Tuple[str, ...]:
+        if not self.alive:
+            raise ShardDownError(f"{self.name} is down")
+        return self.streaming.tokens_of(rid)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.streaming
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "DOWN"
+        return f"IngestNode({state}, records={len(self.streaming)})"

@@ -90,7 +90,7 @@ from repro.cluster.failover import (
     CircuitBreaker,
     RetryPolicy,
 )
-from repro.cluster.node import ShardNode
+from repro.cluster.node import IngestNode, ShardNode
 from repro.cluster.plan import ShardPlan
 
 ROUTE_GROUP = "cluster.route"
@@ -192,6 +192,9 @@ class ClusterRouter:
         self._heat: Dict[int, int] = {}
         #: per-shard round-robin cursors for replica selection.
         self._cursor = [0] * plan.n_shards
+        #: optional streaming write tier (see :meth:`attach_ingest`).
+        self._ingest: Optional[IngestNode] = None
+        self._base_rids: frozenset = frozenset()
 
     # -- introspection -------------------------------------------------
     @property
@@ -257,6 +260,53 @@ class ClusterRouter:
                 totals[key] += stats[key]
         return totals
 
+    # -- the streaming write tier ---------------------------------------
+    @property
+    def ingest(self) -> Optional[IngestNode]:
+        return self._ingest
+
+    def attach_ingest(self, streaming) -> IngestNode:
+        """Grow a write tier: a :class:`IngestNode` over ``streaming``.
+
+        The streaming index must share this router's order and partitioner
+        (build it with :meth:`repro.ingest.streaming.StreamingIndex.attach`)
+        so queries encode identically everywhere.  From here on
+        :meth:`apply_batch` routes writes into it and every search gains
+        one extra scatter leg over the freshly ingested records — results
+        stay exact because ingested rids are disjoint from the shards'.
+        """
+        if self._ingest is not None:
+            raise ClusterError("an ingest tier is already attached")
+        if streaming.order is not self.order:
+            raise ClusterError(
+                "the ingest tier must share the router's global order "
+                "(use StreamingIndex.attach)"
+            )
+        self._base_rids = frozenset(self.rids())
+        self._ingest = IngestNode(streaming)
+        return self._ingest
+
+    def apply_batch(self, new_records) -> int:
+        """Route a write batch into the attached streaming tier.
+
+        Rids already served by the base shards are rejected with
+        :class:`DataError` before anything is logged — the disjointness
+        the dedup-free gather depends on.
+        """
+        if self._ingest is None:
+            raise ClusterError(
+                "no ingest tier attached; call attach_ingest first"
+            )
+        batch = list(new_records)
+        for record in batch:
+            if record.rid in self._base_rids:
+                raise DataError(
+                    f"record id {record.rid} already indexed by the cluster"
+                )
+        added = self._ingest.streaming.apply_batch(batch)
+        self.metrics.increment(ROUTE_GROUP, "ingested_records", added)
+        return added
+
     def status(self) -> Dict:
         """One JSON-safe snapshot: plan, health, heat, balance, storage."""
         report = self.heat_report()
@@ -274,6 +324,11 @@ class ClusterRouter:
             "breakers": self.breaker_states(),
             "route": self.metrics.group(ROUTE_GROUP),
             "storage": self.storage_stats(),
+            "ingest": (
+                None if self._ingest is None
+                else {"alive": self._ingest.ping(),
+                      **self._ingest.streaming.status()}
+            ),
         }
 
     # -- query planning ------------------------------------------------
@@ -397,6 +452,10 @@ class ClusterRouter:
                 partials = self._scatter(
                     targets, query, theta, func, deadline_at, allow_partial
                 )
+                ingest_leg = self._ingest_leg(query, theta, func,
+                                              allow_partial)
+                if ingest_leg is not None:
+                    partials.append(ingest_leg)
                 missing = [s for s, leg_hits in partials if leg_hits is None]
                 with self.tracer.span("merge", phase="cluster") as merge_span:
                     hits = _gather(
@@ -417,7 +476,7 @@ class ClusterRouter:
         if missing:
             self.metrics.increment(ROUTE_GROUP, "partial_results")
         missing_fragments = sorted(
-            fragment for shard in missing for fragment in targets[shard]
+            fragment for shard in missing for fragment in targets.get(shard, ())
         )
         return PartialSearchResult(
             hits=tuple(hits),
@@ -425,6 +484,39 @@ class ClusterRouter:
             missing_shards=tuple(missing),
             missing_fragments=tuple(missing_fragments),
         )
+
+    def _ingest_leg(
+        self,
+        query: EncodedQuery,
+        theta: float,
+        func: SimilarityFunction,
+        allow_partial: bool,
+    ) -> Optional[Tuple[int, Optional[List[SearchHit]]]]:
+        """The write tier's scatter leg, as a ``(shard=-1, hits)`` pair.
+
+        ``None`` when no tier is attached or it holds no records (nothing
+        to contribute, not a degradation).  A down ingest node behaves
+        like a down shard: fail the request, or mark shard ``-1`` missing
+        in partial mode.
+        """
+        node = self._ingest
+        if node is None or not len(node.streaming):
+            return None
+        with self.tracer.span(
+            "ingest-probe", phase="cluster",
+            records=len(node.streaming),
+        ) as span:
+            try:
+                hits = node.probe(query, theta, func, self.filters,
+                                  self.tracer)
+            except ShardDownError as exc:
+                span.attrs["status"] = "unavailable"
+                self.metrics.increment(ROUTE_GROUP, "ingest_unavailable")
+                if not allow_partial:
+                    raise ClusterError(f"ingest tier down: {exc}") from exc
+                return (IngestNode.shard_id, None)
+            span.attrs["hits"] = len(hits)
+        return (IngestNode.shard_id, hits)
 
     def _check_deadline(self, deadline_at: Optional[float]) -> None:
         if deadline_at is not None and self._clock() >= deadline_at:
@@ -461,6 +553,8 @@ class ClusterRouter:
             for node in group:
                 seen.update(node.slice.rids())
                 break  # replicas of one shard hold the same records
+        if self._ingest is not None:
+            seen.update(self._ingest.streaming.rids())
         return sorted(seen)
 
     def tokens_of(self, rid: int) -> Tuple[str, ...]:
@@ -469,6 +563,9 @@ class ClusterRouter:
             for node in group:
                 if node.ping() and rid in node:
                     return node.tokens_of(rid)
+        if (self._ingest is not None and self._ingest.ping()
+                and rid in self._ingest):
+            return self._ingest.tokens_of(rid)
         raise DataError(f"no record with id {rid} in the cluster")
 
     # -- scatter internals ---------------------------------------------

@@ -66,3 +66,11 @@ class DeadlineExceededError(ReproError):
 
 class CheckpointError(DFSError):
     """A pipeline checkpoint is missing, unreadable, or failed its digest."""
+
+
+class IngestError(ReproError):
+    """A streaming-ingest operation failed (manifest, segment, compaction)."""
+
+
+class WALError(IngestError):
+    """A write-ahead-log entry or segment is torn, corrupt, or out of order."""

@@ -1,0 +1,264 @@
+"""Immutable segment generations and the digest-checked MANIFEST.
+
+A **generation** is a sealed :class:`~repro.service.index.SegmentIndex`
+persisted to the DFS as a snapshot-v3-style payload: the pickled columnar
+index plus a sha256 digest over those bytes, verified before unpickling —
+the same envelope discipline as :mod:`repro.service.snapshot`.
+
+The **manifest** is the commit protocol.  Each committed state of the
+streaming index is a versioned, digest-checked document listing the live
+generations (id, level, path, payload digest), the WAL high-water mark
+(``wal_applied_seq``), the current pivot cuts, and the pivot epoch.
+Committing version *v* is a three-step protocol with a single atomic
+commit record:
+
+1. write the immutable manifest file ``{root}/v-{v:08d}`` (no-clobber);
+2. overwrite ``{root}/CURRENT`` with ``v`` — **the commit record**; a
+   crash before this leaves the previous state, a crash after it leaves
+   the new state, never a mix;
+3. overwrite ``{root}/COMMITTED`` (the post-commit audit mark) and
+   garbage-collect superseded manifest versions.
+
+The chaos drill's kill-points bracket step 2: killing the ``CURRENT``
+write is the *pre-commit* point (the fault hook fires before any
+mutation, so the old pointer survives), killing the ``COMMITTED`` write
+is the *post-commit* point (the new state is already live; only cleanup
+is outstanding).  Recovery loads ``CURRENT``, digest-checks the manifest
+and every referenced generation payload, and deletes orphans — segments
+or manifests written by a crashed flush/compaction that never committed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IngestError
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.service.index import SegmentIndex
+
+CURRENT_NAME = "CURRENT"
+COMMITTED_NAME = "COMMITTED"
+#: Format tag inside each persisted generation payload.
+SEGMENT_FORMAT = "repro-ingest-segment"
+#: Payload layout version — tracks the snapshot v3 columnar pickle.
+SEGMENT_VERSION = 3
+MANIFEST_FORMAT = "repro-ingest-manifest"
+MANIFEST_VERSION = 1
+
+_PICKLE_ERRORS = (
+    pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+    IndexError, KeyError, TypeError, ValueError,
+)
+
+
+def manifest_digest(doc: Dict) -> str:
+    """sha256 over the manifest's canonical ``repr`` serialization."""
+    return hashlib.sha256(
+        repr(sorted(doc.items())).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class Generation:
+    """One immutable segment generation, live in memory and on the DFS."""
+
+    gen_id: int
+    level: int
+    index: SegmentIndex
+    path: str
+    digest: str
+    order_size: int
+
+    @property
+    def records(self) -> int:
+        return len(self.index)
+
+    def meta(self) -> Dict:
+        """The manifest entry for this generation (plain repr-safe data)."""
+        return {
+            "gen": self.gen_id,
+            "level": self.level,
+            "path": self.path,
+            "digest": self.digest,
+            "records": self.records,
+            "order_size": self.order_size,
+        }
+
+
+class GenerationStore:
+    """Persist/load sealed indexes as digest-checked DFS payloads."""
+
+    def __init__(self, dfs: InMemoryDFS, root: str) -> None:
+        self.dfs = dfs
+        self.root = root.rstrip("/")
+
+    def path_of(self, gen_id: int) -> str:
+        return f"{self.root}/gen-{gen_id:06d}"
+
+    def list_segments(self) -> List[str]:
+        return self.dfs.list_prefix(self.root + "/")
+
+    def persist(self, gen_id: int, level: int, index: SegmentIndex) -> Generation:
+        """Write one generation payload; returns its live handle."""
+        index._seal()
+        body = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(body).hexdigest()
+        path = self.path_of(gen_id)
+        meta = {
+            "format": SEGMENT_FORMAT,
+            "version": SEGMENT_VERSION,
+            "gen": gen_id,
+            "level": level,
+            "records": len(index),
+            "order_size": index.order.vocab_size,
+        }
+        self.dfs.write(
+            path, [("meta", meta), ("digest", digest), ("index", body)]
+        )
+        return Generation(
+            gen_id=gen_id, level=level, index=index, path=path,
+            digest=digest, order_size=index.order.vocab_size,
+        )
+
+    def load(self, path: str, expected_digest: Optional[str] = None) -> Generation:
+        """Read one payload back, digest-checking before unpickling."""
+        pairs = dict(self.dfs.read(path))
+        meta = pairs.get("meta")
+        body = pairs.get("index")
+        digest = pairs.get("digest")
+        if (
+            not isinstance(meta, dict)
+            or meta.get("format") != SEGMENT_FORMAT
+            or not isinstance(body, bytes)
+        ):
+            raise IngestError(f"{path!r} is not an ingest segment payload")
+        if meta.get("version") != SEGMENT_VERSION:
+            raise IngestError(
+                f"segment version mismatch at {path!r}: "
+                f"{meta.get('version')!r} != {SEGMENT_VERSION}"
+            )
+        actual = hashlib.sha256(body).hexdigest()
+        if actual != digest or (
+            expected_digest is not None and actual != expected_digest
+        ):
+            raise IngestError(
+                f"segment at {path!r} failed its integrity check "
+                f"(sha256 {actual[:12]}…) — refusing to load"
+            )
+        try:
+            index = pickle.loads(body)
+        except _PICKLE_ERRORS as exc:
+            raise IngestError(
+                f"segment payload at {path!r} is unreadable: {exc}"
+            ) from None
+        if not isinstance(index, SegmentIndex):
+            raise IngestError(f"segment at {path!r} carries no index")
+        return Generation(
+            gen_id=meta["gen"], level=meta["level"], index=index,
+            path=path, digest=digest, order_size=meta["order_size"],
+        )
+
+    def delete(self, path: str) -> None:
+        self.dfs.delete(path)
+
+
+class ManifestStore:
+    """Versioned manifests plus the CURRENT commit pointer."""
+
+    def __init__(self, dfs: InMemoryDFS, root: str, keep: int = 3) -> None:
+        self.dfs = dfs
+        self.root = root.rstrip("/")
+        self.keep = max(1, keep)
+
+    # -- paths (also the chaos drill's kill-point targets) -------------
+    @property
+    def current_path(self) -> str:
+        return f"{self.root}/{CURRENT_NAME}"
+
+    @property
+    def committed_path(self) -> str:
+        return f"{self.root}/{COMMITTED_NAME}"
+
+    def version_path(self, version: int) -> str:
+        return f"{self.root}/v-{version:08d}"
+
+    def version_paths(self) -> List[str]:
+        return self.dfs.list_prefix(self.root + "/v-")
+
+    # -- commit protocol -----------------------------------------------
+    def commit(self, doc: Dict) -> int:
+        """Run the three-step commit; returns the committed version.
+
+        ``doc`` must already carry its ``"version"``.  The ``CURRENT``
+        overwrite is the single atomic commit record; everything after it
+        is cleanup that recovery can redo.
+        """
+        version = doc["version"]
+        self.dfs.write(
+            self.version_path(version),
+            [("manifest", doc), ("digest", manifest_digest(doc))],
+        )
+        # Commit record: before this write the previous state is live,
+        # after it the new one is — the drill kills on both sides.
+        self.dfs.write(
+            self.current_path, [("version", version)], overwrite=True
+        )
+        self.dfs.write(
+            self.committed_path, [("version", version)], overwrite=True
+        )
+        for path in self.version_paths():
+            if path < self.version_path(version - self.keep + 1):
+                self.dfs.delete(path)
+        return version
+
+    def load_current(self) -> Dict:
+        """Follow CURRENT to the live manifest, digest-checking it."""
+        if not self.dfs.exists(self.current_path):
+            raise IngestError(
+                f"no ingest state at {self.root!r} (missing CURRENT)"
+            )
+        pointer = dict(self.dfs.read(self.current_path))
+        version = pointer.get("version")
+        if not isinstance(version, int):
+            raise IngestError(f"unreadable CURRENT pointer at {self.root!r}")
+        return self.load_version(version)
+
+    def load_version(self, version: int) -> Dict:
+        pairs = dict(self.dfs.read(self.version_path(version)))
+        doc = pairs.get("manifest")
+        if not isinstance(doc, dict) or doc.get("format") != MANIFEST_FORMAT:
+            raise IngestError(f"manifest v{version} is not readable")
+        if manifest_digest(doc) != pairs.get("digest"):
+            raise IngestError(
+                f"manifest v{version} failed its integrity check"
+            )
+        return doc
+
+    def new_doc(
+        self,
+        version: int,
+        generations: List[Generation],
+        wal_applied_seq: int,
+        next_gen: int,
+        next_batch: int,
+        cuts: Tuple[int, ...],
+        pivot_epoch: int,
+        pivot_method: str,
+        pivot_seed: int = 0,
+    ) -> Dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "manifest_version": MANIFEST_VERSION,
+            "version": version,
+            "generations": [gen.meta() for gen in generations],
+            "wal_applied_seq": wal_applied_seq,
+            "next_gen": next_gen,
+            "next_batch": next_batch,
+            "cuts": list(cuts),
+            "pivot_epoch": pivot_epoch,
+            "pivot_method": pivot_method,
+            "pivot_seed": pivot_seed,
+        }

@@ -1,0 +1,74 @@
+"""The mutable tier of the streaming index.
+
+A memtable is a deliberately thin wrapper around a small
+:class:`~repro.service.index.SegmentIndex` that *shares* the streaming
+index's :class:`~repro.core.ordering.GlobalOrder`: batches intern fresh
+tokens through ``TokenVocab.extend`` (append-only ids, existing columns
+and pivot cuts stay valid), so the memtable and every immutable
+generation encode queries identically by construction.
+
+That sharing is what makes the merge exact: a probe evaluates each
+candidate record independently (candidate generation depends only on the
+query's prefix tokens, filters and verification only on the query plus
+that record's own columns), so probing the memtable and each generation
+separately with the same :class:`~repro.service.index.EncodedQuery` and
+concatenating — record ids are disjoint across tiers — is bit-identical
+to probing a single index built from the union.  The property tests in
+``tests/test_ingest_memtable.py`` pin this down on both probe paths.
+
+Sealing is cheap by design: the memtable's inner index *becomes* the
+flushed generation (its posting columns are sealed in place), and a new
+empty memtable takes over — no rebuild on the write path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.ordering import GlobalOrder
+from repro.core.partitioning import VerticalPartitioner
+from repro.core.pivots import PivotMethod
+from repro.data.records import Record
+from repro.service.index import SegmentIndex
+
+
+class Memtable:
+    """Mutable write-absorbing index over a shared global order."""
+
+    def __init__(
+        self,
+        order: GlobalOrder,
+        partitioner: VerticalPartitioner,
+        pivot_method: PivotMethod = PivotMethod.EVEN_TF,
+        probe_path: str = "columnar",
+    ) -> None:
+        self.index = SegmentIndex(order, partitioner, pivot_method)
+        self.index.probe_path = probe_path
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.index
+
+    def rids(self) -> List[int]:
+        return self.index.rids()
+
+    def apply_batch(self, records: Iterable[Record]) -> int:
+        """Absorb a batch (interning fresh tokens); all-or-nothing."""
+        return self.index.apply_batch(records)
+
+    def records(self) -> List[Record]:
+        """Materialize the absorbed records (ascending rid) for merges."""
+        return [
+            Record(rid, self.index.tokens_of(rid)) for rid in self.index.rids()
+        ]
+
+    def approx_bytes(self) -> int:
+        stats = self.index.posting_stats()
+        return stats["posting_bytes"] + stats["record_bytes"]
+
+    def seal(self) -> SegmentIndex:
+        """Freeze the inner index for hand-off as an immutable generation."""
+        self.index._seal()
+        return self.index

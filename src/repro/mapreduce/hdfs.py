@@ -89,6 +89,30 @@ class InMemoryDFS:
         self._digests[path] = digest
         return size
 
+    def append(self, path: str, pairs: Iterable[Pair]) -> int:
+        """Append ``pairs`` to ``path`` (creating it if absent); returns the
+        estimated byte size of the appended chunk.
+
+        Appends are atomic: the chunk is fully materialized, sized, and the
+        combined digest recomputed *before* the stored list is touched, so
+        a failure while consuming ``pairs`` — or an injected fault from the
+        hook, consulted first — leaves the existing content byte-identical.
+        A torn write can therefore only come from a crash *between* two
+        append calls (e.g. records appended, commit marker not), which is
+        exactly the failure the WAL replay protocol must tolerate.
+        """
+        self._check("append", path)
+        chunk = list(pairs)
+        existing = self._files.get(path, [])
+        combined = existing + chunk
+        size = sum(estimate_pair_size(k, v) for k, v in chunk)
+        digest = content_digest(combined)
+        # Commit point: nothing above may mutate the store.
+        self._files[path] = combined
+        self._sizes[path] = self._sizes.get(path, 0) + size
+        self._digests[path] = digest
+        return size
+
     def rename(self, src: str, dst: str) -> None:
         """Atomically move ``src`` to ``dst`` (``dst`` must not exist).
 
@@ -167,6 +191,15 @@ class InMemoryDFS:
 
     def list_paths(self) -> List[str]:
         return sorted(self._files)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        """Sorted paths starting with ``prefix`` (a directory-listing stand-in).
+
+        Lexicographic order doubles as chronological order for the WAL's
+        zero-padded segment names, so replay can walk segments without a
+        separate catalogue file.
+        """
+        return sorted(p for p in self._files if p.startswith(prefix))
 
     def total_bytes(self) -> int:
         """Sum of all stored file sizes."""

@@ -236,6 +236,15 @@ class SegmentIndex:
         for record in batch:
             if record.rid in self._ranks or record.rid in seen:
                 raise DataError(f"record id {record.rid} already indexed")
+            if record.rid.bit_length() >= 63:
+                # Validate *before* any mutation: this check also lives in
+                # _insert, but by then the vocab is extended and earlier
+                # batch records are inserted — the batch must be all-or-
+                # nothing for snapshot-during-write consistency.
+                raise DataError(
+                    f"record id {record.rid} does not fit the index's "
+                    "64-bit posting columns"
+                )
             seen.add(record.rid)
         fresh = TokenCounter(
             token

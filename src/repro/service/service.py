@@ -250,8 +250,17 @@ class SimilarityService:
 
     # -- persistence ---------------------------------------------------
     def save(self, path: Union[str, Path]) -> int:
-        """Snapshot the underlying index (cache and metrics are ephemeral)."""
-        return save_index(self.index, path)
+        """Snapshot the underlying index (cache and metrics are ephemeral).
+
+        A streaming index (:class:`~repro.ingest.streaming.StreamingIndex`)
+        is materialized to a single union ``SegmentIndex`` first — its own
+        durability lives in the WAL + manifest, and a snapshot must stay
+        loadable by plain ``repro search``.
+        """
+        index = self.index
+        if hasattr(index, "to_segment_index"):
+            index = index.to_segment_index()
+        return save_index(index, path)
 
     @classmethod
     def load(

@@ -18,6 +18,7 @@ from repro.chaos import (
     FaultInjector,
     FaultSchedule,
     run_cluster_scenario,
+    run_ingest_scenario,
     run_join_scenario,
     run_recovery_report,
     run_search_scenario,
@@ -257,6 +258,19 @@ class TestScenarios:
         assert report.detail["corruption_detected"]
         assert report.detail["deadline_typed"]
 
+    def test_ingest_scenario_recovers(self):
+        report = run_ingest_scenario(7)
+        assert report.ok
+        assert report.matched
+        # One kill per compaction kill-point: wal-tear, pre-, post-commit.
+        assert report.faults.get("driver-kill") == 3
+        for point in ("wal-tear", "pre-commit", "post-commit"):
+            detail = report.detail[point]
+            assert detail["killed"]
+            assert detail["torn_whole"]
+            assert detail["probes_ok"]
+            assert detail["structural_ok"]
+
     def test_recovery_report_is_deterministic(self):
         a = run_recovery_report(9, scenario="search")
         b = run_recovery_report(9, scenario="search")
@@ -267,7 +281,7 @@ class TestScenarios:
         tracer = Tracer()
         report = run_recovery_report(5, tracer=tracer)
         assert [s.scenario for s in report.scenarios] == [
-            "join", "cluster", "search",
+            "join", "cluster", "search", "ingest",
         ]
         assert report.ok
         assert report.total_faults() > 0

@@ -349,6 +349,55 @@ class TestCluster:
         assert "no cluster manifest" in capsys.readouterr().err
 
 
+class TestIngest:
+    def test_streams_verifies_and_snapshots(self, corpus_file, tmp_path,
+                                            capsys):
+        snapshot = tmp_path / "streamed.idx"
+        code = main(["ingest", corpus_file, "--base", "30",
+                     "--batch-size", "10", "--memtable-limit", "16",
+                     "--fanout", "2", "--vertical", "6", "--verify",
+                     "--snapshot", str(snapshot)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 80
+        assert doc["base"] == 30
+        assert doc["streamed"] == 50
+        assert doc["flushes"] >= 1
+        assert doc["verify"]["ok"]
+        assert doc["verify"]["structural_identical"]
+        assert doc["verify"]["probe_mismatches"] == 0
+        # The snapshot is a plain index the serving CLI can load.
+        assert snapshot.exists()
+        assert main(["search", str(snapshot), "--rid", "5",
+                     "--theta", "0.6"]) == 0
+
+    def test_trace_carries_ingest_phase(self, corpus_file, tmp_path,
+                                        capsys):
+        trace = tmp_path / "ingest.jsonl"
+        assert main(["ingest", corpus_file, "--batch-size", "20",
+                     "--vertical", "6", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        phases = {json.loads(line)["phase"]
+                  for line in trace.read_text().splitlines() if line}
+        assert "ingest" in phases
+
+    def test_bad_base_is_typed(self, corpus_file, capsys):
+        code = main(["ingest", corpus_file, "--base", "999"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_chaos_ingest_scenario(self, capsys):
+        code = main(["chaos", "--seed", "11", "--scenario", "ingest"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"]
+        scenario = doc["scenarios"][0]
+        assert scenario["scenario"] == "ingest"
+        assert scenario["matched"]
+
+
 class TestErrors:
     def test_missing_stats_file(self, capsys):
         code = main(["stats", "/nonexistent/path.txt"])

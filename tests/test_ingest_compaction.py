@@ -1,0 +1,275 @@
+"""Generations, manifest commit protocol, leveled compaction, pivot drift."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.chaos import ChaosConfig, FaultInjector, FaultSchedule
+from repro.core.pivots import PivotMethod
+from repro.data.records import Record, RecordCollection
+from repro.errors import DFSError, IngestError
+from repro.ingest import (
+    CompactionPlan,
+    GenerationStore,
+    IngestConfig,
+    LeveledPolicy,
+    ManifestStore,
+    StreamingIndex,
+    merge_generations,
+)
+from repro.ingest.compaction import fragment_mass_cv, pivot_drift
+from repro.mapreduce.executors import create_executor
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.service import SegmentIndex
+from tests.conftest import random_collection
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_collection(60, seed=23)
+
+
+def _sealed_index(records, order=None, partitioner=None):
+    """A tier over a shared layout: apply_batch interns fresh tokens."""
+    if order is None:
+        return SegmentIndex.build(RecordCollection(records), n_vertical=4)
+    index = SegmentIndex(order, partitioner)
+    index.apply_batch(sorted(records, key=lambda r: r.rid))
+    index._seal()
+    return index
+
+
+class TestGenerationStore:
+    def test_persist_load_roundtrip(self, corpus):
+        store = GenerationStore(InMemoryDFS(), "segments")
+        gen = store.persist(0, 0, _sealed_index(list(corpus)))
+        loaded = store.load(gen.path, gen.digest)
+        assert loaded.gen_id == 0 and loaded.level == 0
+        assert loaded.records == len(corpus)
+        assert pickle.dumps(loaded.index) == pickle.dumps(gen.index)
+
+    def test_corrupt_payload_fails_closed(self, corpus):
+        dfs = InMemoryDFS()
+        store = GenerationStore(dfs, "segments")
+        gen = store.persist(0, 0, _sealed_index(list(corpus)))
+        pairs = dfs.read(gen.path)
+        flipped = [
+            (k, v[:-4] + b"ruin" if k == "index" else v) for k, v in pairs
+        ]
+        dfs.write(gen.path, flipped, overwrite=True)
+        with pytest.raises(IngestError):
+            store.load(gen.path, gen.digest)
+
+    def test_manifest_digest_mismatch_fails_closed(self, corpus):
+        """A stale manifest digest (segment rewritten under it) is caught."""
+        store = GenerationStore(InMemoryDFS(), "segments")
+        gen = store.persist(0, 0, _sealed_index(list(corpus)))
+        store.persist(1, 0, _sealed_index(list(corpus)[:10]))
+        other = store.load(store.path_of(1))
+        with pytest.raises(IngestError):
+            store.load(gen.path, other.digest)
+
+    def test_foreign_payload_rejected(self):
+        dfs = InMemoryDFS()
+        dfs.write("segments/gen-000000", [("k", "v")])
+        with pytest.raises(IngestError):
+            GenerationStore(dfs, "segments").load("segments/gen-000000")
+
+
+class TestManifestStore:
+    def _doc(self, store, version, **overrides):
+        doc = store.new_doc(
+            version=version, generations=[], wal_applied_seq=-1,
+            next_gen=1, next_batch=0, cuts=(3, 7), pivot_epoch=0,
+            pivot_method="even_tf",
+        )
+        doc.update(overrides)
+        return doc
+
+    def test_commit_then_load_current(self):
+        store = ManifestStore(InMemoryDFS(), "manifest")
+        store.commit(self._doc(store, 1))
+        store.commit(self._doc(store, 2, pivot_epoch=1))
+        doc = store.load_current()
+        assert doc["version"] == 2
+        assert doc["pivot_epoch"] == 1
+        assert doc["cuts"] == [3, 7]
+
+    def test_old_versions_garbage_collected(self):
+        store = ManifestStore(InMemoryDFS(), "manifest", keep=2)
+        for version in range(1, 6):
+            store.commit(self._doc(store, version))
+        kept = store.version_paths()
+        assert kept == [store.version_path(4), store.version_path(5)]
+
+    def test_tampered_manifest_fails_closed(self):
+        dfs = InMemoryDFS()
+        store = ManifestStore(dfs, "manifest")
+        store.commit(self._doc(store, 1))
+        pairs = dict(dfs.read(store.version_path(1)))
+        pairs["manifest"]["next_gen"] = 999
+        dfs.write(store.version_path(1), list(pairs.items()), overwrite=True)
+        with pytest.raises(IngestError):
+            store.load_current()
+
+    def test_missing_current_is_typed(self):
+        with pytest.raises(IngestError):
+            ManifestStore(InMemoryDFS(), "manifest").load_current()
+
+
+class TestLeveledPolicy:
+    def _gen(self, gen_id, level):
+        index = SegmentIndex.build(
+            RecordCollection([Record.make(gen_id, ["a", "b"])]), n_vertical=1
+        )
+        return GenerationStore(InMemoryDFS(), "s").persist(
+            gen_id, level, index
+        )
+
+    def test_no_plan_when_in_shape(self):
+        policy = LeveledPolicy(fanout=3)
+        gens = [self._gen(i, 0) for i in range(2)]
+        assert policy.plan(gens) is None
+
+    def test_plans_lowest_overfull_level_first(self):
+        policy = LeveledPolicy(fanout=2)
+        gens = [self._gen(0, 1), self._gen(1, 1),
+                self._gen(2, 0), self._gen(3, 0)]
+        plan = policy.plan(gens)
+        assert plan == CompactionPlan(0, (2, 3))
+        assert plan.output_level == 1
+
+
+class TestMerge:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_merge_is_structurally_identical_to_fresh_build(
+        self, corpus, executor
+    ):
+        """The acceptance property: merged generations pickle to exactly
+        the bytes of one index built from the union of their records."""
+        records = list(corpus)
+        base = _sealed_index(records[:30])
+        order, partitioner = base.order, base.partitioner
+        store = GenerationStore(InMemoryDFS(), "segments")
+        gens = [
+            store.persist(0, 0, base),
+            store.persist(
+                1, 0, _sealed_index(records[30:45], order, partitioner)
+            ),
+            store.persist(
+                2, 0, _sealed_index(records[45:], order, partitioner)
+            ),
+        ]
+        merged = merge_generations(
+            gens, order, partitioner, PivotMethod.EVEN_TF,
+            create_executor(executor),
+        )
+        # All tokens are interned by now, so the fresh build takes the
+        # same ascending-rid insert path the merge does.
+        fresh = SegmentIndex(order, partitioner)
+        for record in sorted(records, key=lambda r: r.rid):
+            fresh._insert(record)
+        fresh._seal()
+        assert pickle.dumps(merged) == pickle.dumps(fresh)
+
+
+class TestPivotDrift:
+    def test_balanced_cuts_do_not_drift(self, corpus):
+        index = SegmentIndex.build(corpus, n_vertical=4)
+        assert pivot_drift(
+            index.order, index.partitioner.cuts, PivotMethod.EVEN_TF
+        ) is None
+
+    def test_fragment_mass_cv_zero_when_even(self):
+        assert fragment_mass_cv([2, 2, 2, 2], [2]) == 0.0
+        assert fragment_mass_cv([8, 1, 1, 1], [1]) > 0.4
+        assert fragment_mass_cv([1, 2, 3], []) == 0.0
+
+    def test_skewed_append_triggers_rederivation(self):
+        """Batch-interned tokens all land after the original vocabulary,
+        so enough fresh mass drifts the Even-TF balance past threshold."""
+        base = RecordCollection(
+            [Record.make(i, [f"b{i}", f"b{i + 1}"]) for i in range(6)]
+        )
+        index = SegmentIndex.build(base, n_vertical=3)
+        order, cuts = index.order, index.partitioner.cuts
+        heavy = [
+            Record.make(100 + i, [f"hot{j}" for j in range(20)])
+            for i in range(10)
+        ]
+        index.apply_batch(heavy)
+        fresh = pivot_drift(order, cuts, PivotMethod.EVEN_TF)
+        assert fresh is not None
+        assert tuple(fresh) != tuple(cuts)
+        assert fragment_mass_cv(
+            order.rank_frequencies, fresh
+        ) < fragment_mass_cv(order.rank_frequencies, cuts)
+
+
+class TestCompactionKillPoints:
+    """The manifest commit protocol under the chaos drill's kill-points."""
+
+    def _streaming(self, corpus, dfs):
+        return StreamingIndex.create(
+            dfs, records=RecordCollection(list(corpus)[:30]), n_vertical=4,
+            config=IngestConfig(memtable_limit=8, fanout=2,
+                                auto_compact=False),
+        )
+
+    def _kill_at(self, corpus, point):
+        injector = FaultInjector(FaultSchedule(0, ChaosConfig()))
+        dfs = injector.attach_dfs(InMemoryDFS())
+        streaming = self._streaming(corpus, dfs)
+        batches = [list(corpus)[30:40], list(corpus)[40:55]]
+        streaming.apply_batch(batches[0])
+        streaming.flush()
+        streaming.apply_batch(batches[1])
+        injector.schedule_kill(*streaming.kill_points()[point])
+        with pytest.raises(DFSError):
+            streaming.flush()
+            streaming.compact()
+        return dfs, injector
+
+    @pytest.mark.parametrize("point", ["pre-commit", "post-commit"])
+    def test_kill_then_recover_is_exact(self, corpus, point):
+        dfs, _ = self._kill_at(corpus, point)
+        recovered = StreamingIndex.recover(dfs)
+        assert sorted(recovered.rids()) == sorted(
+            r.rid for r in list(corpus)[:55]
+        )
+        oracle = SegmentIndex.build(
+            RecordCollection(list(corpus)[:55]), n_vertical=4
+        )
+        for record in list(corpus)[:55:5]:
+            assert recovered.probe(record.tokens, 0.5) == oracle.probe(
+                record.tokens, 0.5
+            )
+
+    def test_pre_commit_kill_rolls_back_and_gcs_orphans(self, corpus):
+        dfs, _ = self._kill_at(corpus, "pre-commit")
+        manifests = ManifestStore(dfs, "ingest/manifest")
+        version_before = manifests.load_current()["version"]
+        orphan_versions = [
+            p for p in manifests.version_paths()
+            if p > manifests.version_path(version_before)
+        ]
+        assert orphan_versions  # the uncommitted manifest is on disk...
+        recovered = StreamingIndex.recover(dfs)
+        assert [
+            p for p in manifests.version_paths()
+            if p > manifests.version_path(version_before)
+        ] == []  # ...until recovery deletes it
+        # The WAL still covers the unflushed batches: nothing was lost.
+        assert len(recovered) == 55
+
+    def test_post_commit_kill_adopts_the_new_manifest(self, corpus):
+        dfs, _ = self._kill_at(corpus, "post-commit")
+        manifests = ManifestStore(dfs, "ingest/manifest")
+        current = dict(dfs.read(manifests.current_path))["version"]
+        committed = dict(dfs.read(manifests.committed_path))["version"]
+        assert current > committed  # the audit mark lags the commit record
+        recovered = StreamingIndex.recover(dfs)
+        assert len(recovered) == 55
+        assert recovered.manifest_version >= current

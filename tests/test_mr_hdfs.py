@@ -134,3 +134,71 @@ class TestAtomicOverwrite:
         assert not dfs.exists("p")
         with pytest.raises(DFSError):
             dfs.size_bytes("p")
+
+
+class TestAppend:
+    def test_append_creates_then_extends(self):
+        dfs = InMemoryDFS()
+        dfs.append("log", [("a", 1)])
+        dfs.append("log", [("b", 2), ("c", 3)])
+        assert dfs.read("log") == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_append_size_and_digest_track_content(self):
+        dfs = InMemoryDFS()
+        first = dfs.append("log", [("a", 1)])
+        second = dfs.append("log", [("b", "v" * 50)])
+        assert second > first
+        assert dfs.size_bytes("log") == first + second
+        assert dfs.verify("log")
+
+    def test_append_to_written_file(self):
+        dfs = InMemoryDFS()
+        dfs.write("p", [("a", 1)])
+        dfs.append("p", [("b", 2)])
+        assert dfs.read("p") == [("a", 1), ("b", 2)]
+        assert dfs.verify("p")
+
+    def test_torn_append_leaves_file_untouched(self):
+        """A fault at the append's check point is all-or-nothing: the
+        existing entries, size accounting and digest are unchanged."""
+        from repro.chaos import ChaosConfig, FaultInjector, FaultSchedule
+
+        injector = FaultInjector(FaultSchedule(0, ChaosConfig()))
+        dfs = injector.attach_dfs(InMemoryDFS())
+        dfs.append("log", [("a", 1)])
+        size = dfs.size_bytes("log")
+        digest = dfs.digest("log")
+        injector.schedule_kill("append", "log")
+        with pytest.raises(DFSError):
+            dfs.append("log", [("b", 2)])
+        assert dfs.read("log") == [("a", 1)]
+        assert dfs.size_bytes("log") == size
+        assert dfs.digest("log") == digest
+        assert dfs.verify("log")
+
+    def test_torn_producer_leaves_file_untouched(self):
+        dfs = InMemoryDFS()
+        dfs.append("log", [("a", 1)])
+
+        def exploding_pairs():
+            yield ("b", 2)
+            raise RuntimeError("producer died mid-append")
+
+        with pytest.raises(RuntimeError):
+            dfs.append("log", exploding_pairs())
+        assert dfs.read("log") == [("a", 1)]
+        assert dfs.verify("log")
+
+
+class TestListPrefix:
+    def test_list_prefix_filters_and_sorts(self):
+        dfs = InMemoryDFS()
+        for path in ("wal/00000002", "wal/00000000", "wal/00000001",
+                     "other/x", "walx"):
+            dfs.write(path, [])
+        assert dfs.list_prefix("wal/") == [
+            "wal/00000000", "wal/00000001", "wal/00000002",
+        ]
+
+    def test_list_prefix_empty(self):
+        assert InMemoryDFS().list_prefix("wal/") == []

@@ -171,6 +171,23 @@ class TestApplyBatch:
         assert grown.apply_batch([]) == 0
         assert len(grown) == len(corpus)
 
+    def test_oversized_rid_rejected_before_any_insert(self, corpus):
+        """A rid that overflows the 64-bit posting columns must fail the
+        whole batch *before* the first record mutates the index — earlier
+        valid records must not be half-applied (regression: the check
+        used to live in _insert, after the vocab was already extended)."""
+        grown = SegmentIndex.build(corpus, n_vertical=5)
+        size_before = len(grown)
+        vocab_before = grown.posting_stats()["vocab"]
+        with pytest.raises(DataError):
+            grown.apply_batch(
+                [Record.make(992, ["brand-new-token"]),
+                 Record.make(2**63, ["y"])]
+            )
+        assert len(grown) == size_before
+        assert 992 not in grown
+        assert grown.posting_stats()["vocab"] == vocab_before
+
 
 class TestIntrospection:
     def test_len_and_contains(self, corpus, index):
