@@ -1,0 +1,172 @@
+"""Extension: the multi-tenant gateway vs direct router probes.
+
+The gateway's pitch is that pooling concurrent requests is cheaper than
+serving them one by one: a hot-key storm coalesces onto one shared
+computation, distinct probes ride micro-batches through the router's
+columnar ``search_batch``, and repeats hit the result LRU — all with
+answers bit-identical to direct ``router.search`` calls (asserted here,
+per probe).
+
+This bench replays the same skewed Zipf mix (a) directly against the
+router, probe by probe, and (b) through the gateway in concurrent
+waves, and emits ``benchmarks/results/BENCH_gateway.json`` — the
+baseline future PRs regress against — with the coalesce rate, the index
+probes actually paid, and p50/p95/p99 from the gateway's shared-clock
+histograms.
+
+Expected shape: the storm-heavy mix resolves most requests without an
+index probe (coalesce + cache), so the gateway pays well under half the
+router searches the direct replay pays; the in-test floor (≥30%
+avoided, coalesce rate ≥ 0.05) keeps slow CI machines green while
+catching a broken coalescer or cache.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from _common import RESULTS_DIR, corpus, record_table
+from repro.cluster import build_cluster
+from repro.gateway import (
+    GatewayConfig,
+    GatewayRequest,
+    SimilarityGateway,
+    TenantConfig,
+)
+from repro.service import SegmentIndex
+
+THETA = 0.6
+N_RECORDS = 400
+N_VERTICAL = 8
+N_SHARDS = 4
+N_PROBES = 300
+ZIPF = 1.5
+WAVE = 32
+SEED = 7
+
+JSON_PATH = RESULTS_DIR / "BENCH_gateway.json"
+
+
+def _zipf_mix(records):
+    rng = random.Random(SEED)
+    weights = [1.0 / (i + 1) ** ZIPF for i in range(len(records))]
+    picks = rng.choices(range(len(records)), weights=weights, k=N_PROBES)
+    return [tuple(records[i].tokens) for i in picks]
+
+
+def test_gateway_coalescing_speedup(benchmark):
+    records = corpus("wiki", N_RECORDS)
+    index = SegmentIndex.build(records, n_vertical=N_VERTICAL)
+    mix = _zipf_mix(records)
+
+    def sweep():
+        direct = build_cluster(index, n_shards=N_SHARDS, replication=2)
+        started = time.perf_counter()
+        expected = [direct.search(list(tokens), THETA) for tokens in mix]
+        direct_wall = time.perf_counter() - started
+
+        gateway = SimilarityGateway(
+            build_cluster(index, n_shards=N_SHARDS, replication=2),
+            GatewayConfig(
+                max_batch=WAVE,
+                tenants={"t0": TenantConfig(weight=3, max_outstanding=WAVE),
+                         "t1": TenantConfig(weight=1,
+                                            max_outstanding=WAVE)},
+            ),
+        )
+        requests = [
+            GatewayRequest(tokens, THETA, tenant=f"t{i % 2}")
+            for i, tokens in enumerate(mix)
+        ]
+        started = time.perf_counter()
+        responses = []
+        for lo in range(0, len(requests), WAVE):
+            responses.extend(gateway.serve(requests[lo:lo + WAVE]))
+        gateway_wall = time.perf_counter() - started
+
+        identical = all(
+            response.ok and list(response.hits) == hits
+            for response, hits in zip(responses, expected)
+        )
+        return {
+            "direct_wall_s": round(direct_wall, 6),
+            "gateway_wall_s": round(gateway_wall, 6),
+            "identical": identical,
+            "stats": gateway.metrics.group("gateway"),
+            "latency": gateway.latency_info(),
+            "router_searches": gateway.router.metrics.get(
+                "cluster.route", "searches"
+            ),
+            "direct_searches": direct.metrics.get(
+                "cluster.route", "searches"
+            ),
+        }
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    stats = measured["stats"]
+    latency = measured["latency"]
+    coalesce_rate = stats["coalesced"] / stats["requests"]
+    # Index probes the gateway actually paid vs the probe-per-request
+    # direct replay: coalescing + caching + batch dedup all land here.
+    probes_avoided = 1.0 - (
+        measured["router_searches"] / measured["direct_searches"]
+    )
+
+    document = {
+        "bench": "gateway",
+        "corpus": {
+            "name": "wiki", "n_records": N_RECORDS, "theta": THETA,
+            "n_vertical": N_VERTICAL, "n_shards": N_SHARDS,
+            "n_probes": N_PROBES, "zipf": ZIPF, "wave": WAVE,
+        },
+        "direct": {"wall_s": measured["direct_wall_s"],
+                   "searches": measured["direct_searches"]},
+        "gateway": {
+            "wall_s": measured["gateway_wall_s"],
+            "searches": measured["router_searches"],
+            "coalesce_rate": round(coalesce_rate, 4),
+            "cache_hits": stats.get("cache_hits", 0),
+            "batches": stats["batches"],
+            "p50_ms": latency["p50_ms"],
+            "p95_ms": latency["p95_ms"],
+            "p99_ms": latency["p99_ms"],
+        },
+        "probes_avoided": round(probes_avoided, 4),
+        "identical_results": measured["identical"],
+    }
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    record_table(
+        "ext_gateway",
+        [
+            {"path": "direct", "wall_s": measured["direct_wall_s"],
+             "index_probes": measured["direct_searches"],
+             "coalesce_rate": "", "p50_ms": "", "p95_ms": "",
+             "p99_ms": ""},
+            {"path": "gateway", "wall_s": measured["gateway_wall_s"],
+             "index_probes": measured["router_searches"],
+             "coalesce_rate": round(coalesce_rate, 4),
+             "p50_ms": latency["p50_ms"], "p95_ms": latency["p95_ms"],
+             "p99_ms": latency["p99_ms"]},
+        ],
+        f"Extension — gateway vs direct router, wiki-like n={N_RECORDS}, "
+        f"θ={THETA}, {N_PROBES} Zipf({ZIPF}) probes in waves of {WAVE}",
+        columns=("path", "wall_s", "index_probes", "coalesce_rate",
+                 "p50_ms", "p95_ms", "p99_ms"),
+    )
+
+    # Every gateway answer — coalesced, cached or batched — must equal
+    # the direct router's, bit for bit.
+    assert measured["identical"]
+    # The regression gate: the coalescer and cache must actually work.
+    assert coalesce_rate >= 0.05, f"coalesce rate only {coalesce_rate:.3f}"
+    assert probes_avoided >= 0.3, (
+        f"gateway paid {measured['router_searches']} index probes vs "
+        f"{measured['direct_searches']} direct — only "
+        f"{probes_avoided:.1%} avoided"
+    )
+    # Percentiles come from the shared-clock histograms and must be sane.
+    assert latency["count"] == N_PROBES
+    assert latency["p99_ms"] >= latency["p50_ms"] > 0

@@ -17,6 +17,7 @@ from repro.chaos.harness import (
     RecoveryReport,
     ScenarioReport,
     run_cluster_scenario,
+    run_gateway_scenario,
     run_ingest_scenario,
     run_join_scenario,
     run_recovery_report,
@@ -39,6 +40,7 @@ __all__ = [
     "RecoveryReport",
     "ScenarioReport",
     "run_cluster_scenario",
+    "run_gateway_scenario",
     "run_ingest_scenario",
     "run_join_scenario",
     "run_recovery_report",

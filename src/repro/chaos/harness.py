@@ -572,11 +572,221 @@ def run_ingest_scenario(
     )
 
 
+def run_gateway_scenario(
+    seed: int,
+    theta: float = 0.6,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 120,
+    n_shards: int = 4,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Storm, flap and slow the gateway's cluster; answers must stay exact.
+
+    Four phases, one gateway, one chaos clock shared by the router, its
+    breakers and every latency histogram:
+
+    * *storm* — a hot-key storm from a small-quota tenant alongside a
+      paid tenant's distinct probes: the duplicates must coalesce onto
+      one shared computation, the quota overflow must shed typed (a
+      seeded schedule sheds the same requests every run), and the paid
+      tenant must be untouched.
+    * *flap* — replica 0 of a shard the storm key provably routes to
+      fails its next probes: the batched scatter must fail over, trip
+      the breaker (which also removes the replica from hedge-backup
+      duty), and — once the chaos clock passes the reset timeout —
+      rejoin it through a half-open trial.
+    * *hedge* — the healed replica turns slow (a real-time stall, since
+      the hedge race is a wall-clock one): whenever it is the primary
+      leg, the rolling-p95 hedge timer must fire a backup probe on its
+      twin and take the answer that lands first.  Replicas serve the
+      same slice, so every answer along the way must stay bit-identical
+      with zero dedup.
+    * *spike* — a replica's probes advance the *chaos clock*: the spike
+      must show up in the gateway's latency percentiles, proving the
+      histograms record on the same injectable clock the deadline checks
+      read (the one-clock contract).
+
+    Every response in every phase is compared against the single-node
+    index's answer.
+    """
+    import time as _time
+
+    from repro.cluster import HedgeConfig
+    from repro.gateway import (
+        GatewayConfig,
+        GatewayRequest,
+        SimilarityGateway,
+        TenantConfig,
+    )
+
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig())
+    records = make_corpus("wiki", n_records, seed=seed % 971)
+    index = SegmentIndex.build(records, n_vertical=12)
+    clock = ChaosClock()
+    injector = FaultInjector(schedule, tracer, clock)
+    breaker = BreakerConfig(failure_threshold=2, reset_timeout=1.0)
+    # min_observations high: the rolling p95 of chaos-clock legs is ~0,
+    # so the hedge timer stays pinned at min_delay — deterministic.
+    hedge = HedgeConfig(min_delay=0.002, max_delay=0.05,
+                        min_observations=10_000)
+    router = build_cluster(
+        index,
+        n_shards=n_shards,
+        replication=2,
+        tracer=tracer,
+        retry=RetryPolicy(max_retries=1, base_delay=0.01, seed=seed),
+        breaker=breaker,
+        hedge=hedge,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    # cache_size=0: every wave re-dispatches, so flap/hedge waves keep
+    # exercising the scatter path instead of the result cache.
+    gateway = SimilarityGateway(
+        router,
+        GatewayConfig(
+            max_batch=16,
+            cache_size=0,
+            tenants={
+                "free": TenantConfig(weight=1, max_outstanding=4),
+                "paid": TenantConfig(weight=3, max_outstanding=64),
+            },
+        ),
+    )
+    mark = tracer.mark()
+    detail: Dict[str, Any] = {}
+    mismatches = 0
+
+    def expect(tokens):
+        return index.probe(tokens, theta, func)
+
+    def check(requests, responses):
+        nonlocal mismatches
+        for request, response in zip(requests, responses):
+            if response.ok and list(response.hits) != expect(
+                list(request.tokens)
+            ):
+                mismatches += 1
+
+    # Storm phase: 12 identical free-tenant probes (quota 4) riding with
+    # 6 distinct paid probes in one scheduling wave.
+    hot = records[stable_mod(seed, len(records))]
+    storm = [GatewayRequest(tuple(hot.tokens), theta, func=func,
+                            tenant="free") for _ in range(12)]
+    paid = [GatewayRequest(tuple(records[(i * 7 + 3) % len(records)].tokens),
+                           theta, func=func, tenant="paid")
+            for i in range(6)]
+    responses = gateway.serve(storm + paid)
+    check(storm + paid, responses)
+    stats = gateway.metrics.group("gateway")
+    paid_ok = all(r.ok for r in responses[len(storm):])
+    shed = [r for r in responses[: len(storm)] if r.error]
+    detail["storm"] = {
+        "coalesced": stats.get("coalesced", 0),
+        "quota_shed": stats.get("quota_shed", 0),
+        "shed_typed": all(r.error == "QuotaExceededError" for r in shed),
+        "paid_unaffected": paid_ok,
+    }
+    injector.record("hot-key-storm", "tenant:free",
+                    f"{len(storm)} identical probes, quota 4")
+
+    # Flap phase: crash a replica of a shard the hot key routes to, then
+    # keep probing it through the gateway until the breaker trips.
+    flap_targets = router.target_fragments(
+        router.encode_query(list(hot.tokens)), theta, func
+    )
+    victim_shard = router.plan.shard_of(flap_targets[0]) if flap_targets else 0
+    victim = router.replica(victim_shard, 0)
+    injector.crash_replica(victim, probes=breaker.failure_threshold)
+    flap_request = [GatewayRequest(tuple(hot.tokens), theta, func=func,
+                                   tenant="paid")]
+    for _ in range(2 * router.replication):
+        check(flap_request, gateway.serve(flap_request))
+    clock.advance(breaker.reset_timeout)
+    for _ in range(router.replication):
+        check(flap_request, gateway.serve(flap_request))
+    transitions = router.breaker(victim_shard, 0).transitions
+    detail["flap"] = {
+        "victim": victim.name,
+        "victim_tripped": transitions["opened"] >= 1,
+        "victim_rejoined": transitions["closed"] >= 1,
+    }
+
+    # Hedge phase: the healed victim stalls in real time (the hedge race
+    # is wall-clock); whenever it is the primary leg the timer fires its
+    # twin and the fast answer wins — bit-identical either way.
+    def stall(target) -> None:
+        _time.sleep(0.05)
+
+    victim.fault_hook = stall
+    injector.record("replica-stall", victim.name,
+                    "+50ms wall time per probe batch")
+    for _ in range(3 * router.replication):
+        check(flap_request, gateway.serve(flap_request))
+    victim.fault_hook = None
+    route = router.metrics.group("cluster.route")
+    detail["hedge"] = {
+        "hedges": route.get("hedges", 0),
+        "hedge_wins": route.get("hedge_wins", 0),
+    }
+
+    # Spike phase: probes advance the chaos clock; the spike must appear
+    # in the gateway's shared-clock latency percentiles.  Both replicas
+    # get the spike so rotation cannot route around it.
+    def spike(target) -> None:
+        clock.advance(0.25)
+
+    for replica_id in range(router.replication):
+        router.replica(victim_shard, replica_id).fault_hook = spike
+    injector.record("latency-spike", f"shard{victim_shard}",
+                    "+250ms on the chaos clock per probe batch")
+    check(flap_request, gateway.serve(flap_request))
+    for replica_id in range(router.replication):
+        router.replica(victim_shard, replica_id).fault_hook = None
+    latency = gateway.latency_info()
+    detail["spike"] = {
+        "latency_count": latency["count"],
+        "latency_max_ms": latency["max_ms"],
+        "latency_visible": latency["max_ms"] > 0.0,
+    }
+
+    matched = (
+        mismatches == 0
+        and detail["storm"]["coalesced"] > 0
+        and detail["storm"]["quota_shed"] > 0
+        and detail["storm"]["shed_typed"]
+        and detail["storm"]["paid_unaffected"]
+        and detail["flap"]["victim_tripped"]
+        and detail["flap"]["victim_rejoined"]
+        and detail["hedge"]["hedge_wins"] >= 1
+        and detail["spike"]["latency_visible"]
+    )
+    detail["mismatches"] = mismatches
+
+    recovery = _recovery_from_spans(tracer, mark)
+    for key in ("failovers", "hedges", "hedge_wins", "breaker_opened",
+                "breaker_closed", "breaker_skipped"):
+        if route.get(key):
+            recovery[key] = route[key]
+    return ScenarioReport(
+        scenario="gateway",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery=recovery,
+        detail=detail,
+    )
+
+
 SCENARIOS = {
     "join": run_join_scenario,
     "cluster": run_cluster_scenario,
     "search": run_search_scenario,
     "ingest": run_ingest_scenario,
+    "gateway": run_gateway_scenario,
 }
 
 

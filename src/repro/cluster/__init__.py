@@ -35,6 +35,7 @@ from repro.cluster.failover import (
     BreakerConfig,
     BreakerState,
     CircuitBreaker,
+    HedgeConfig,
     RetryPolicy,
 )
 from repro.cluster.node import FragmentPayload, IngestNode, ShardNode, ShardSlice
@@ -47,6 +48,7 @@ __all__ = [
     "CircuitBreaker",
     "ClusterRouter",
     "FragmentPayload",
+    "HedgeConfig",
     "IngestNode",
     "Migration",
     "PartialSearchResult",

@@ -34,7 +34,7 @@ from repro.observability.tracer import Tracer
 from repro.service.index import SegmentIndex
 from repro.service.snapshot import load_index, save_index
 
-from repro.cluster.failover import BreakerConfig, RetryPolicy
+from repro.cluster.failover import BreakerConfig, HedgeConfig, RetryPolicy
 from repro.cluster.node import ShardNode, ShardSlice
 from repro.cluster.plan import ShardPlan, plan_shards
 from repro.cluster.router import ClusterRouter
@@ -58,6 +58,7 @@ def build_cluster(
     executor: Union[ExecutorKind, str, None] = None,
     retry: Optional[RetryPolicy] = None,
     breaker: Optional[BreakerConfig] = None,
+    hedge: Optional[HedgeConfig] = None,
     clock=time.monotonic,
     sleep=time.sleep,
 ) -> ClusterRouter:
@@ -95,6 +96,7 @@ def build_cluster(
         executor=executor,
         retry=retry,
         breaker=breaker,
+        hedge=hedge,
         clock=clock,
         sleep=sleep,
     )
@@ -146,6 +148,7 @@ def load_cluster(
     executor: Union[ExecutorKind, str, None] = None,
     retry: Optional[RetryPolicy] = None,
     breaker: Optional[BreakerConfig] = None,
+    hedge: Optional[HedgeConfig] = None,
     clock=time.monotonic,
     sleep=time.sleep,
 ) -> ClusterRouter:
@@ -216,6 +219,7 @@ def load_cluster(
         executor=executor,
         retry=retry,
         breaker=breaker,
+        hedge=hedge,
         clock=clock,
         sleep=sleep,
     )

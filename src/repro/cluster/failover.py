@@ -90,6 +90,33 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class HedgeConfig:
+    """Shape of deadline-aware hedged scatter on the batched probe path.
+
+    When a shard leg is still unanswered after the rolling p95 of
+    observed leg latencies (clamped to ``[min_delay, max_delay]``), the
+    router fires one backup probe on the next healthy replica and takes
+    whichever answer lands first.  Replicas of a shard serve identical
+    slices, so the winner's answer is bit-identical either way and the
+    claim rule keeps the gather dedup-free.  ``min_observations`` is how
+    many legs must be on record before the p95 is trusted; until then
+    ``min_delay`` is used.
+    """
+
+    min_delay: float = 0.005
+    max_delay: float = 0.5
+    min_observations: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_delay < 0 or self.max_delay < 0:
+            raise ConfigError("hedge delays must be >= 0")
+        if self.max_delay < self.min_delay:
+            raise ConfigError("max_delay must be >= min_delay")
+        if self.min_observations < 1:
+            raise ConfigError("min_observations must be >= 1")
+
+
+@dataclass(frozen=True)
 class BreakerConfig:
     """Shape of the per-replica circuit breakers a router builds."""
 

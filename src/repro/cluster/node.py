@@ -202,6 +202,97 @@ class ShardSlice(SegmentIndex):
                     candidates[rid] = (v, qpos, pos)
         return candidates
 
+    def _batch_candidates_columnar(
+        self,
+        queries: Sequence[EncodedQuery],
+        theta: float,
+        func: SimilarityFunction,
+        counters: Optional[Counters],
+    ) -> List[Dict[int, FirstHit]]:
+        """One-pass batched candidate generation *with* the claim rule.
+
+        Stage 1 mirrors the base class but splits each query's prefix into
+        owned tokens (grouped per fragment for the shared posting scans)
+        and a sorted foreign-id list.  Stage 2 walks owned fragments in
+        ascending token-id order; because fragments are contiguous id
+        ranges, the foreign tokens a sequential probe would have
+        accumulated before reaching token ``t`` are exactly the query's
+        foreign ids smaller than ``t`` — a ``bisect`` prefix of the
+        per-query foreign list.  Applying :func:`_any_rank_present` to
+        that prefix reproduces the sequential claim decision for every
+        (query, candidate) pair, so the batch stays disjoint across
+        shards and bit-identical to per-query probes.
+        """
+        grouped: List[Dict[int, List[Tuple[int, int]]]] = [
+            {} for _ in range(self.n_fragments)
+        ]
+        plen_cache: Dict[int, int] = {}
+        foreign_of: List[List[int]] = [[] for _ in queries]
+        owned = self._owned
+        for qi, query in enumerate(queries):
+            q_ids = query.ranks
+            if not q_ids:
+                continue
+            size = query.size
+            plen = plen_cache.get(size)
+            if plen is None:
+                plen = plen_cache[size] = prefix_length(func, theta, size)
+            limit = min(plen, len(q_ids))
+            foreign = foreign_of[qi]
+            for v, start, end in self.partitioner.split_bounds(q_ids[:limit]):
+                if v not in owned:
+                    foreign.extend(q_ids[start:end])
+                    continue
+                token_map = grouped[v]
+                for qpos in range(start, end):
+                    token = q_ids[qpos]
+                    probes = token_map.get(token)
+                    if probes is None:
+                        token_map[token] = probes = []
+                    probes.append((qi, qpos))
+        candidate_sets: List[Dict[int, FirstHit]] = [{} for _ in queries]
+        rejected_sets: List[set] = [set() for _ in queries]
+        ranks_of = self._ranks
+        lookups = ceded = 0
+        for v, token_map in enumerate(grouped):
+            if not token_map:
+                continue
+            postings = self._postings[v]
+            if postings._pending:
+                postings.seal()
+            slots = postings._slots
+            offsets = postings.offsets
+            rids = postings.rids
+            positions = postings.positions
+            for token in sorted(token_map):
+                lookups += 1
+                slot = slots.get(token)
+                if slot is None:
+                    continue
+                # Foreign ids already "seen" by a sequential scan at this
+                # token: the bisect prefix of each probing query's list.
+                cuts = [
+                    (qi, qpos,
+                     foreign_of[qi][:bisect_left(foreign_of[qi], token)])
+                    for qi, qpos in token_map[token]
+                ]
+                for k in range(offsets[slot], offsets[slot + 1]):
+                    rid = rids[k]
+                    pos = positions[k]
+                    for qi, qpos, foreign in cuts:
+                        candidates = candidate_sets[qi]
+                        if rid in candidates or rid in rejected_sets[qi]:
+                            continue
+                        if foreign and _any_rank_present(foreign,
+                                                         ranks_of[rid]):
+                            rejected_sets[qi].add(rid)
+                            ceded += 1
+                        else:
+                            candidates[rid] = (v, qpos, pos)
+        _bump(counters, "posting_lookups", lookups)
+        _bump(counters, "ceded_candidates", ceded)
+        return candidate_sets
+
     def probe_batch(
         self,
         queries,
@@ -211,8 +302,19 @@ class ShardSlice(SegmentIndex):
         counters: Optional[Counters] = None,
         tracer: Tracer = NOOP_TRACER,
     ):
-        """Per-query probes (the fragment-grouped fast path would bypass
-        the claim rule; a slice probes queries one by one instead)."""
+        """Batched probes that preserve the claim rule.
+
+        On the columnar path the base class's fragment-grouped scan calls
+        this slice's :meth:`_batch_candidates_columnar`, which applies the
+        claim rule inside the one-pass scan — shared tokens cost one
+        posting lookup for the whole batch, results stay disjoint across
+        shards.  The legacy fragment-grouped scan has no claim-rule twin,
+        so that path probes queries one by one instead.
+        """
+        if self._use_columnar():
+            return super().probe_batch(
+                queries, theta, func, filters, counters, tracer
+            )
         return [
             self.probe_encoded(query, theta, func, filters, counters, tracer)
             for query in queries
@@ -335,6 +437,27 @@ class ShardNode:
         self.counters.increment("cluster.node", "probes")
         return self.slice.probe_encoded(
             query, theta, func, filters, self.counters, tracer
+        )
+
+    def probe_batch(
+        self,
+        queries: Sequence[EncodedQuery],
+        theta: float,
+        func: SimilarityFunction,
+        filters: Optional[FilterConfig] = None,
+        tracer: Tracer = NOOP_TRACER,
+    ) -> List[List[SearchHit]]:
+        """Serve one batched scatter leg (fragment-grouped on the columnar
+        path, claim rule preserved); raises :class:`ShardDownError` if
+        failed.  The fault hook fires once per batch — a crashed replica
+        loses the whole leg, exactly like a crashed single probe."""
+        if not self.alive:
+            raise ShardDownError(f"{self.name} is down")
+        if self.fault_hook is not None:
+            self.fault_hook(self)
+        self.counters.increment("cluster.node", "probes", len(queries))
+        return self.slice.probe_batch(
+            queries, theta, func, filters, self.counters, tracer
         )
 
     def tokens_of(self, rid: int) -> Tuple[str, ...]:

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -88,6 +89,7 @@ from repro.cluster.failover import (
     BreakerConfig,
     BreakerState,
     CircuitBreaker,
+    HedgeConfig,
     RetryPolicy,
 )
 from repro.cluster.node import IngestNode, ShardNode
@@ -141,6 +143,7 @@ class ClusterRouter:
         executor: Union[ExecutorKind, str, None] = None,
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        hedge: Optional[HedgeConfig] = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -151,9 +154,14 @@ class ClusterRouter:
         a request that cannot be admitted within ``queue_timeout`` seconds
         is shed with :class:`ClusterOverloadError`.  ``retry`` is the
         per-leg retry budget, ``breaker`` shapes the per-replica circuit
-        breakers; ``clock``/``sleep`` are injectable so breaker timeouts,
-        deadlines and backoff waits are testable (and chaos-replayable)
-        without real time passing."""
+        breakers; ``hedge`` (default off) enables deadline-aware hedged
+        scatter on the batched probe path — see
+        :class:`~repro.cluster.failover.HedgeConfig`; ``clock``/``sleep``
+        are injectable so breaker timeouts, deadlines and backoff waits
+        are testable (and chaos-replayable) without real time passing.
+        Latency histograms record on the same ``clock`` the deadlines
+        use — one clock per router, so injected (chaos) latency shows up
+        in the percentiles that deadline decisions are made against."""
         if len(groups) != plan.n_shards:
             raise ConfigError(
                 f"plan expects {plan.n_shards} shards, got {len(groups)} groups"
@@ -175,8 +183,13 @@ class ClusterRouter:
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.metrics = Counters()
         self.latency = LatencyHistogram()
+        #: per-scatter-leg latencies (router clock) — the rolling p95 the
+        #: hedging decision reads.
+        self.leg_latency = LatencyHistogram()
         self._groups: List[List[ShardNode]] = [list(g) for g in groups]
         self.retry = retry if retry is not None else RetryPolicy()
+        self.hedge = hedge
+        self._hedge_pool: Optional[ThreadPoolExecutor] = None
         self._breaker_config = breaker if breaker is not None else BreakerConfig()
         self._clock = clock
         self._sleep = sleep
@@ -307,6 +320,19 @@ class ClusterRouter:
         self.metrics.increment(ROUTE_GROUP, "ingested_records", added)
         return added
 
+    def latency_info(self) -> Dict[str, Dict]:
+        """Request- and scatter-leg latency percentiles.
+
+        Both histograms record on the router's injectable clock — the
+        same one the deadline checks and breakers read — so latency a
+        chaos run injects through that clock is visible here, and the
+        hedge timer's rolling leg p95 is auditable.
+        """
+        return {
+            "latency": self.latency.snapshot(),
+            "leg_latency": self.leg_latency.snapshot(),
+        }
+
     def status(self) -> Dict:
         """One JSON-safe snapshot: plan, health, heat, balance, storage."""
         report = self.heat_report()
@@ -423,52 +449,65 @@ class ClusterRouter:
         allow_partial: bool,
     ) -> PartialSearchResult:
         func = SimilarityFunction(func)
-        started = time.perf_counter()
-        deadline_at = None if deadline is None else self._clock() + deadline
-        if not self._admission.acquire(timeout=self.queue_timeout):
-            self.metrics.increment(ROUTE_GROUP, "shed")
-            raise ClusterOverloadError(
-                f"cluster at max in-flight capacity; request shed after "
-                f"{self.queue_timeout:.3f}s in queue"
-            )
+        # One clock for everything: deadlines, breakers and the latency
+        # histogram all read ``self._clock``, so injected (chaos) latency
+        # is visible in ``latency_info()`` — and shed or deadline-exceeded
+        # requests are recorded too, not just successes.
+        started = self._clock()
+        deadline_at = None if deadline is None else started + deadline
         try:
-            self._check_deadline(deadline_at)
-            query = self.encode_query(tokens)
-            with self.tracer.span(
-                "cluster-search", phase="cluster", theta=theta,
-                func=func.value, query_size=query.size,
-            ) as span:
-                with self.tracer.span("route", phase="cluster") as route_span:
-                    fragments = self.target_fragments(query, theta, func)
-                    targets = self._target_shards(fragments)
-                    route_span.attrs["fragments"] = len(fragments)
-                    route_span.attrs["shards"] = sorted(targets)
-                self.metrics.increment(ROUTE_GROUP, "searches")
-                self.metrics.increment(ROUTE_GROUP, "shards_probed",
-                                       len(targets))
-                with self._lock:
-                    for fragment in fragments:
-                        self._heat[fragment] = self._heat.get(fragment, 0) + 1
-                partials = self._scatter(
-                    targets, query, theta, func, deadline_at, allow_partial
+            if not self._admission.acquire(timeout=self.queue_timeout):
+                self.metrics.increment(ROUTE_GROUP, "shed")
+                raise ClusterOverloadError(
+                    f"cluster at max in-flight capacity; request shed after "
+                    f"{self.queue_timeout:.3f}s in queue"
                 )
-                ingest_leg = self._ingest_leg(query, theta, func,
-                                              allow_partial)
-                if ingest_leg is not None:
-                    partials.append(ingest_leg)
-                missing = [s for s, leg_hits in partials if leg_hits is None]
-                with self.tracer.span("merge", phase="cluster") as merge_span:
-                    hits = _gather(
-                        [leg_hits for _s, leg_hits in partials
-                         if leg_hits is not None]
+            try:
+                self._check_deadline(deadline_at)
+                query = self.encode_query(tokens)
+                with self.tracer.span(
+                    "cluster-search", phase="cluster", theta=theta,
+                    func=func.value, query_size=query.size,
+                ) as span:
+                    with self.tracer.span("route",
+                                          phase="cluster") as route_span:
+                        fragments = self.target_fragments(query, theta, func)
+                        targets = self._target_shards(fragments)
+                        route_span.attrs["fragments"] = len(fragments)
+                        route_span.attrs["shards"] = sorted(targets)
+                    self.metrics.increment(ROUTE_GROUP, "searches")
+                    self.metrics.increment(ROUTE_GROUP, "shards_probed",
+                                           len(targets))
+                    partials = self._scatter(
+                        targets, query, theta, func, deadline_at,
+                        allow_partial
                     )
-                    merge_span.attrs["hits"] = len(hits)
-                span.attrs["hits"] = len(hits)
-                if missing:
-                    span.attrs["missing_shards"] = missing
+                    ingest_leg = self._ingest_leg(query, theta, func,
+                                                  allow_partial)
+                    if ingest_leg is not None:
+                        partials.append(ingest_leg)
+                    # Heat is charged only now — after the scatter came
+                    # back — and only for shards that answered, so shed,
+                    # deadline-exceeded and all-replicas-down requests
+                    # never skew the rebalancer toward fragments that
+                    # served nothing.
+                    self._charge_heat(targets, partials)
+                    missing = [s for s, leg_hits in partials
+                               if leg_hits is None]
+                    with self.tracer.span("merge",
+                                          phase="cluster") as merge_span:
+                        hits = _gather(
+                            [leg_hits for _s, leg_hits in partials
+                             if leg_hits is not None]
+                        )
+                        merge_span.attrs["hits"] = len(hits)
+                    span.attrs["hits"] = len(hits)
+                    if missing:
+                        span.attrs["missing_shards"] = missing
+            finally:
+                self._admission.release()
         finally:
-            self._admission.release()
-        self.latency.record(time.perf_counter() - started)
+            self.latency.record(self._clock() - started)
         if exclude is not None:
             hits = [hit for hit in hits if hit.rid != exclude]
         if k is not None:
@@ -525,6 +564,21 @@ class ClusterRouter:
                 "request deadline exceeded before the cluster could answer"
             )
 
+    def _charge_heat(
+        self,
+        targets: Dict[int, List[int]],
+        partials: List[Tuple[int, Optional[List[SearchHit]]]],
+    ) -> None:
+        """Charge fragment heat for the shards whose leg answered."""
+        answered = {s for s, leg_hits in partials if leg_hits is not None}
+        if not answered:
+            return
+        with self._lock:
+            for shard, shard_fragments in targets.items():
+                if shard in answered:
+                    for fragment in shard_fragments:
+                        self._heat[fragment] = self._heat.get(fragment, 0) + 1
+
     def search_rid(
         self,
         rid: int,
@@ -542,9 +596,142 @@ class ClusterRouter:
         theta: float,
         k: Optional[int] = None,
         func: SimilarityFunction = SimilarityFunction.JACCARD,
+        exclude: Optional[Sequence[Optional[int]]] = None,
+        deadline: Optional[float] = None,
     ) -> List[List[SearchHit]]:
-        """Convenience loop over :meth:`search` (admission per query)."""
-        return [self.search(q, theta, k=k, func=func) for q in queries]
+        """Batched exact search: dedupe, admit once, scatter per shard.
+
+        The whole batch occupies one admission slot (a saturated cluster
+        sheds it with a single typed :class:`ClusterOverloadError` instead
+        of paying the queue timeout query by query), duplicate queries are
+        computed once, and each target shard serves every query routed to
+        it in one :meth:`~repro.cluster.node.ShardNode.probe_batch` call —
+        the columnar fragment-grouped fast path, claim rule preserved.
+        Results align with ``queries`` and are bit-identical to per-query
+        :meth:`search` calls.
+
+        ``exclude`` (parity with
+        :meth:`~repro.service.service.SimilarityService.search_batch`) is
+        a per-query sequence of record ids to drop, ``None`` entries
+        skipping; ``deadline`` bounds the whole batch in seconds on the
+        router clock.  With a :class:`~repro.cluster.failover.HedgeConfig`
+        configured, slow shard legs are hedged onto a backup replica (the
+        first answer wins; replicas serve the same slice, so the result
+        is bit-identical either way).
+        """
+        func = SimilarityFunction(func)
+        if exclude is not None and len(exclude) != len(queries):
+            raise ConfigError(
+                f"exclude must align with queries: got {len(exclude)} "
+                f"entries for {len(queries)} queries"
+            )
+        started = self._clock()
+        deadline_at = None if deadline is None else started + deadline
+        try:
+            if not self._admission.acquire(timeout=self.queue_timeout):
+                self.metrics.increment(ROUTE_GROUP, "shed")
+                raise ClusterOverloadError(
+                    f"cluster at max in-flight capacity; batch shed after "
+                    f"{self.queue_timeout:.3f}s in queue"
+                )
+            try:
+                self._check_deadline(deadline_at)
+                merged = self._batch_scatter(queries, theta, func,
+                                             deadline_at)
+            finally:
+                self._admission.release()
+        finally:
+            self.latency.record(self._clock() - started)
+        self._check_deadline(deadline_at)
+        results: List[List[SearchHit]] = []
+        for i, hits in enumerate(merged):
+            drop = exclude[i] if exclude is not None else None
+            if drop is not None:
+                hits = [hit for hit in hits if hit.rid != drop]
+            else:
+                hits = list(hits)
+            if k is not None:
+                hits = hits[: max(k, 0)]
+            results.append(hits)
+        return results
+
+    def _batch_scatter(
+        self,
+        queries: Sequence[Iterable[str]],
+        theta: float,
+        func: SimilarityFunction,
+        deadline_at: Optional[float],
+    ) -> List[List[SearchHit]]:
+        """Dedupe, route, scatter shard-batched, gather — one merged hit
+        list per input query (order preserved, excludes/k not yet applied)."""
+        encoded = [self.encode_query(tokens) for tokens in queries]
+        # Dedup key must include n_unknown: unknown tokens change |q| and
+        # with it prefix lengths and similarity denominators.
+        distinct: Dict[Tuple[Tuple[int, ...], int], int] = {}
+        slots: List[int] = []
+        uniques: List[EncodedQuery] = []
+        for query in encoded:
+            key = (query.ranks, query.n_unknown)
+            di = distinct.get(key)
+            if di is None:
+                di = distinct[key] = len(uniques)
+                uniques.append(query)
+            slots.append(di)
+        self.metrics.increment(ROUTE_GROUP, "searches", len(queries))
+        self.metrics.increment(ROUTE_GROUP, "batches")
+        self.metrics.increment(ROUTE_GROUP, "batch_deduped",
+                               len(queries) - len(uniques))
+        with self.tracer.span(
+            "cluster-batch", phase="cluster", theta=theta, func=func.value,
+            queries=len(queries), distinct=len(uniques),
+        ) as span:
+            with self.tracer.span("route", phase="cluster") as route_span:
+                per_query_targets = [
+                    self._target_shards(
+                        self.target_fragments(query, theta, func)
+                    )
+                    for query in uniques
+                ]
+                shard_queries: Dict[int, List[int]] = {}
+                for di, targets in enumerate(per_query_targets):
+                    for shard in targets:
+                        shard_queries.setdefault(shard, []).append(di)
+                route_span.attrs["shards"] = sorted(shard_queries)
+            self.metrics.increment(
+                ROUTE_GROUP, "shards_probed",
+                sum(len(t) for t in per_query_targets),
+            )
+            legs_by_query: List[List[List[SearchHit]]] = [
+                [] for _ in uniques
+            ]
+            for shard in sorted(shard_queries):
+                dis = shard_queries[shard]
+                shard_hits = self._probe_shard_batch(
+                    shard, [uniques[di] for di in dis], theta, func,
+                    self.tracer, deadline_at,
+                )
+                for di, hits in zip(dis, shard_hits):
+                    legs_by_query[di].append(hits)
+            if self._ingest is not None and len(self._ingest.streaming):
+                for di, query in enumerate(uniques):
+                    leg = self._ingest_leg(query, theta, func,
+                                           allow_partial=False)
+                    if leg is not None:
+                        legs_by_query[di].append(leg[1])
+            # Every targeted shard answered (failures raised above), so
+            # each distinct query charges its fragments exactly once.
+            with self._lock:
+                for targets in per_query_targets:
+                    for shard_fragments in targets.values():
+                        for fragment in shard_fragments:
+                            self._heat[fragment] = (
+                                self._heat.get(fragment, 0) + 1
+                            )
+            with self.tracer.span("merge", phase="cluster") as merge_span:
+                merged = [_gather(legs) for legs in legs_by_query]
+                merge_span.attrs["hits"] = sum(len(m) for m in merged)
+            span.attrs["hits"] = sum(len(m) for m in merged)
+        return [merged[di] for di in slots]
 
     def rids(self) -> List[int]:
         """All record ids indexed anywhere in the cluster, ascending."""
@@ -679,8 +866,13 @@ class ClusterRouter:
                     replica=node.replica_id,
                 ) as span:
                     try:
-                        hits = node.probe(query, theta, func, self.filters,
-                                          tracer)
+                        leg_started = self._clock()
+                        try:
+                            hits = node.probe(query, theta, func,
+                                              self.filters, tracer)
+                        finally:
+                            self.leg_latency.record(
+                                self._clock() - leg_started)
                     except ShardDownError as exc:
                         # Failed mid-probe (e.g. injected between ping and
                         # probe): feed the breaker, try the next replica.
@@ -714,6 +906,181 @@ class ClusterRouter:
             f"shard {shard}: all {len(group)} replicas down"
             + (f" ({last_error})" if last_error else "")
         )
+
+    def _probe_shard_batch(
+        self,
+        shard: int,
+        queries: Sequence[EncodedQuery],
+        theta: float,
+        func: SimilarityFunction,
+        tracer: Tracer,
+        deadline_at: Optional[float] = None,
+    ) -> List[List[SearchHit]]:
+        """Serve all of ``queries`` on one available replica of ``shard``.
+
+        Same failover discipline as :meth:`_probe_shard` — round-robin
+        cursor, breaker-gated replicas, retry sweeps with deterministic
+        backoff — but the whole query group rides one
+        :meth:`~repro.cluster.node.ShardNode.probe_batch` call.  With
+        :attr:`hedge` configured and a second healthy replica available,
+        a leg still unanswered after the rolling leg-latency p95 races a
+        backup probe on that replica and the first answer wins; replicas
+        serve the same slice, so the winner's answer is bit-identical
+        either way and the claim rule keeps the gather dedup-free.
+        """
+        group = self._groups[shard]
+        breakers = self._breakers[shard]
+        with self._lock:
+            start = self._cursor[shard] % len(group)
+            self._cursor[shard] += 1
+        traced = tracer.enabled
+
+        def attempt(node: ShardNode):
+            """One leg: probe ``node``, tracing into a leg-local tracer
+            (attempts may race on threads) and feeding the leg histogram."""
+            leg_tracer = Tracer() if traced else NOOP_TRACER
+            leg_started = self._clock()
+            try:
+                with leg_tracer.span(
+                    "shard-probe", phase="cluster", shard=shard,
+                    replica=node.replica_id, queries=len(queries),
+                ) as span:
+                    try:
+                        hits = node.probe_batch(queries, theta, func,
+                                                self.filters, leg_tracer)
+                    except ShardDownError as exc:
+                        span.attrs["status"] = "failed-over"
+                        return None, leg_tracer.spans(), exc
+                    span.attrs["hits"] = sum(len(h) for h in hits)
+                return hits, leg_tracer.spans(), None
+            finally:
+                self.leg_latency.record(self._clock() - leg_started)
+
+        last_error: Optional[ShardDownError] = None
+        for sweep in range(self.retry.max_retries + 1):
+            if sweep:
+                self._check_deadline(deadline_at)
+                self.metrics.increment(ROUTE_GROUP, "retries")
+                self._sleep(self.retry.backoff((shard, len(queries)),
+                                               sweep - 1))
+            for offset in range(len(group)):
+                index = (start + offset) % len(group)
+                node = group[index]
+                breaker = breakers[index]
+                self._check_deadline(deadline_at)
+                if not breaker.allow():
+                    self.metrics.increment(ROUTE_GROUP, "breaker_skipped")
+                    continue
+                if not node.ping():
+                    self._note_failure(breaker, shard, node, tracer)
+                    continue
+                backup = self._hedge_backup(shard, index)
+                if backup is not None:
+                    outcomes = self._race_legs(attempt, node, backup)
+                else:
+                    outcomes = [(node, *attempt(node))]
+                result: Optional[List[List[SearchHit]]] = None
+                for attempted, hits, spans, exc in outcomes:
+                    tracer.adopt(spans)
+                    attempted_breaker = breakers[group.index(attempted)]
+                    if hits is None:
+                        self.metrics.increment(ROUTE_GROUP, "failovers")
+                        if traced:
+                            tracer.add(
+                                f"failover:{attempted.name}", "recovery",
+                                start=time.perf_counter(), duration=0.0,
+                                action="failover", shard=shard,
+                                replica=attempted.replica_id,
+                            )
+                        self._note_failure(attempted_breaker, shard,
+                                           attempted, tracer)
+                        last_error = exc
+                        continue
+                    if attempted is not node:
+                        self.metrics.increment(ROUTE_GROUP, "hedge_wins")
+                        if traced:
+                            tracer.add(
+                                f"hedge-win:{attempted.name}", "recovery",
+                                start=time.perf_counter(), duration=0.0,
+                                action="hedge-win", shard=shard,
+                                replica=attempted.replica_id,
+                            )
+                    if attempted_breaker.record_success():
+                        self.metrics.increment(ROUTE_GROUP, "breaker_closed")
+                        if traced:
+                            tracer.add(
+                                f"breaker-close:{attempted.name}", "recovery",
+                                start=time.perf_counter(), duration=0.0,
+                                action="breaker-close", shard=shard,
+                                replica=attempted.replica_id,
+                            )
+                    result = hits
+                if result is not None:
+                    return result
+        self.metrics.increment(ROUTE_GROUP, "unavailable")
+        raise ClusterError(
+            f"shard {shard}: all {len(group)} replicas down"
+            + (f" ({last_error})" if last_error else "")
+        )
+
+    def _hedge_backup(self, shard: int, primary_index: int
+                      ) -> Optional[ShardNode]:
+        """The replica a hedged leg would race, or ``None`` (hedging off,
+        no second replica, or none healthy).  Only CLOSED-breaker replicas
+        qualify — a half-open trial slot must not be burned on a hedge."""
+        if self.hedge is None:
+            return None
+        group = self._groups[shard]
+        breakers = self._breakers[shard]
+        for offset in range(1, len(group)):
+            index = (primary_index + offset) % len(group)
+            if (breakers[index].state is BreakerState.CLOSED
+                    and group[index].ping()):
+                return group[index]
+        return None
+
+    def _hedge_delay(self) -> float:
+        """Seconds to wait on the primary leg before firing the backup:
+        the rolling leg p95 clamped to the config's bounds (min_delay
+        until enough legs are on record)."""
+        hedge = self.hedge
+        if len(self.leg_latency) < hedge.min_observations:
+            return hedge.min_delay
+        return min(hedge.max_delay,
+                   max(hedge.min_delay, self.leg_latency.percentile(0.95)))
+
+    def _race_legs(self, attempt, primary: ShardNode, backup: ShardNode):
+        """Run ``attempt(primary)``; if it is still unanswered after the
+        hedge delay, race ``attempt(backup)`` and take the first success.
+
+        Returns ``(node, hits, spans, error)`` outcomes in arrival order,
+        stopping at the first success — a still-running loser is
+        abandoned (its result is discarded; both replicas would have
+        produced identical hits).  Failed outcomes are all reported so
+        the caller can feed every failure to its breaker.
+        """
+        pool = self._hedge_pool
+        if pool is None:
+            pool = self._hedge_pool = ThreadPoolExecutor(max_workers=4)
+        f1 = pool.submit(attempt, primary)
+        done, _pending = wait([f1], timeout=self._hedge_delay())
+        if f1 in done:
+            return [(primary, *f1.result())]
+        self.metrics.increment(ROUTE_GROUP, "hedges")
+        f2 = pool.submit(attempt, backup)
+        owner = {f1: primary, f2: backup}
+        pending = {f1, f2}
+        outcomes = []
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            # When both land in one wake-up, prefer the primary — keeps
+            # the common case (primary merely slow, not dead) stable.
+            for future in sorted(done, key=lambda f: f is not f1):
+                outcome = (owner[future], *future.result())
+                outcomes.append(outcome)
+                if outcome[1] is not None:
+                    return outcomes
+        return outcomes
 
     def _note_failure(
         self, breaker: CircuitBreaker, shard: int, node: ShardNode,

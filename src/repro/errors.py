@@ -64,6 +64,14 @@ class DeadlineExceededError(ReproError):
     """A request ran past its caller-supplied deadline and was abandoned."""
 
 
+class GatewayError(ReproError):
+    """A multi-tenant gateway operation failed (dispatch, configuration)."""
+
+
+class QuotaExceededError(GatewayError):
+    """A tenant exceeded its outstanding-request quota and was shed."""
+
+
 class CheckpointError(DFSError):
     """A pipeline checkpoint is missing, unreadable, or failed its digest."""
 

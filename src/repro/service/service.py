@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FilterConfig
 from repro.data.records import Record, RecordCollection
-from repro.errors import DeadlineExceededError
+from repro.errors import DataError, DeadlineExceededError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import ExecutorKind, TaskExecutor, create_executor
 from repro.observability.histogram import LatencyHistogram
@@ -105,30 +105,37 @@ class SimilarityService:
         the overrun is visible in ``service.deadline`` counters).
         """
         func = SimilarityFunction(func)
-        started = time.perf_counter()
-        deadline_at = None if deadline is None else self._clock() + deadline
-        self._check_deadline(deadline_at)
-        key = self._cache_key(tokens, theta, func)
-        with self.tracer.span(
-            "probe", phase="service", theta=theta, func=func.value,
-            query_size=len(key[0]),
-        ) as span:
-            with self.tracer.span("cache-lookup", phase="service"):
-                hits = self._cache.get(key)
-            if hits is None:
-                self.metrics.increment(CACHE_GROUP, "misses")
-                span.attrs["cache"] = "miss"
-                hits = self.index.probe(
-                    key[0], theta, func, self.filters, self.metrics,
-                    tracer=self.tracer,
-                )
-                self._put(key, hits)
-            else:
-                self.metrics.increment(CACHE_GROUP, "hits")
-                span.attrs["cache"] = "hit"
-            span.attrs["hits"] = len(hits)
-        self.latency.record(time.perf_counter() - started)
-        self._check_deadline(deadline_at)
+        # Latency is recorded on the same injectable clock the deadline
+        # checks read — one clock per service — so injected (chaos)
+        # latency shows up in ``latency_info()``, and a request that is
+        # abandoned at its deadline is still an observation (overload
+        # percentiles must include the requests that failed).
+        started = self._clock()
+        deadline_at = None if deadline is None else started + deadline
+        try:
+            self._check_deadline(deadline_at)
+            key = self._cache_key(tokens, theta, func)
+            with self.tracer.span(
+                "probe", phase="service", theta=theta, func=func.value,
+                query_size=len(key[0]),
+            ) as span:
+                with self.tracer.span("cache-lookup", phase="service"):
+                    hits = self._cache.get(key)
+                if hits is None:
+                    self.metrics.increment(CACHE_GROUP, "misses")
+                    span.attrs["cache"] = "miss"
+                    hits = self.index.probe(
+                        key[0], theta, func, self.filters, self.metrics,
+                        tracer=self.tracer,
+                    )
+                    self._put(key, hits)
+                else:
+                    self.metrics.increment(CACHE_GROUP, "hits")
+                    span.attrs["cache"] = "hit"
+                span.attrs["hits"] = len(hits)
+            self._check_deadline(deadline_at)
+        finally:
+            self.latency.record(self._clock() - started)
         return _finish(hits, k, exclude)
 
     def search_rid(
@@ -151,6 +158,7 @@ class SimilarityService:
         k: Optional[int] = None,
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         executor: Union[ExecutorKind, str, TaskExecutor, None] = None,
+        exclude: Optional[Sequence[Optional[int]]] = None,
         deadline: Optional[float] = None,
     ) -> List[List[SearchHit]]:
         """Probe many queries at once; results align with ``queries``.
@@ -161,43 +169,60 @@ class SimilarityService:
         with posting scans grouped per fragment.  ``executor`` (or the
         service default) fans the misses out over a
         :mod:`repro.mapreduce.executors` backend; results are identical on
-        every backend.
+        every backend.  ``exclude`` is a per-query sequence of record ids
+        to drop from the corresponding result (``None`` entries skip) —
+        the batched twin of :meth:`search`'s ``exclude``, applied after
+        the shared computation so duplicates still coalesce.
         """
         func = SimilarityFunction(func)
-        started = time.perf_counter()
-        deadline_at = None if deadline is None else self._clock() + deadline
-        self._check_deadline(deadline_at)
-        self.metrics.increment("service.batch", "batches")
-        self.metrics.increment("service.batch", "queries", len(queries))
-        with self.tracer.span(
-            "batch", phase="service", theta=theta, func=func.value,
-            queries=len(queries),
-        ) as span:
-            keys = [self._cache_key(tokens, theta, func) for tokens in queries]
-            resolved: Dict[CacheKey, List[SearchHit]] = {}
-            misses: List[CacheKey] = []
-            with self.tracer.span("cache-lookup", phase="service"):
-                for key in keys:
-                    if key in resolved:
-                        continue
-                    hits = self._cache.get(key)
-                    if hits is None:
-                        self.metrics.increment(CACHE_GROUP, "misses")
-                        misses.append(key)
-                        resolved[key] = []  # placeholder; filled below
-                    else:
-                        self.metrics.increment(CACHE_GROUP, "hits")
+        if exclude is not None and len(exclude) != len(queries):
+            raise DataError(
+                f"exclude must align with queries: got {len(exclude)} "
+                f"entries for {len(queries)} queries"
+            )
+        started = self._clock()
+        deadline_at = None if deadline is None else started + deadline
+        try:
+            self._check_deadline(deadline_at)
+            self.metrics.increment("service.batch", "batches")
+            self.metrics.increment("service.batch", "queries", len(queries))
+            with self.tracer.span(
+                "batch", phase="service", theta=theta, func=func.value,
+                queries=len(queries),
+            ) as span:
+                keys = [self._cache_key(tokens, theta, func)
+                        for tokens in queries]
+                resolved: Dict[CacheKey, List[SearchHit]] = {}
+                misses: List[CacheKey] = []
+                with self.tracer.span("cache-lookup", phase="service"):
+                    for key in keys:
+                        if key in resolved:
+                            continue
+                        hits = self._cache.get(key)
+                        if hits is None:
+                            self.metrics.increment(CACHE_GROUP, "misses")
+                            misses.append(key)
+                            resolved[key] = []  # placeholder; filled below
+                        else:
+                            self.metrics.increment(CACHE_GROUP, "hits")
+                            resolved[key] = hits
+                self.metrics.increment("service.batch", "unique_misses",
+                                       len(misses))
+                span.attrs["unique_misses"] = len(misses)
+                if misses:
+                    for key, hits in zip(misses,
+                                         self._probe_misses(misses, theta,
+                                                            func, executor)):
                         resolved[key] = hits
-            self.metrics.increment("service.batch", "unique_misses", len(misses))
-            span.attrs["unique_misses"] = len(misses)
-            if misses:
-                for key, hits in zip(misses, self._probe_misses(misses, theta,
-                                                                func, executor)):
-                    resolved[key] = hits
-                    self._put(key, hits)
-        self.latency.record(time.perf_counter() - started)
-        self._check_deadline(deadline_at)
-        return [_finish(resolved[key], k, None) for key in keys]
+                        self._put(key, hits)
+            self._check_deadline(deadline_at)
+        finally:
+            self.latency.record(self._clock() - started)
+        return [
+            _finish(resolved[key], k,
+                    exclude[i] if exclude is not None else None)
+            for i, key in enumerate(keys)
+        ]
 
     def _probe_misses(
         self,

@@ -281,7 +281,7 @@ class TestScenarios:
         tracer = Tracer()
         report = run_recovery_report(5, tracer=tracer)
         assert [s.scenario for s in report.scenarios] == [
-            "join", "cluster", "search", "ingest",
+            "join", "cluster", "search", "ingest", "gateway",
         ]
         assert report.ok
         assert report.total_faults() > 0

@@ -197,6 +197,34 @@ class TestRouting:
         cluster.reset_heat()
         assert cluster.fragment_heat() == {}
 
+    def test_no_heat_and_recorded_latency_on_failed_requests(self, index):
+        """A request that dies on its deadline charges no fragment heat
+        — only answered scatters count toward rebalancing — but it IS
+        recorded in the latency histogram (failures are load too), on
+        the same clock the deadline check read."""
+        from repro.chaos import ChaosClock
+        from repro.errors import DeadlineExceededError
+
+        clock = ChaosClock()
+        router = build_cluster(index, n_shards=3, clock=clock,
+                               sleep=clock.sleep)
+        tokens = router.tokens_of(0)
+        for shard in range(router.n_shards):
+            router.replica(shard, 0).fault_hook = (
+                lambda target: clock.advance(1.0)
+            )
+        with pytest.raises(DeadlineExceededError):
+            router.search(tokens, 0.5, deadline=0.5)
+        assert sum(router.fragment_heat().values()) == 0
+        info = router.latency_info()["latency"]
+        assert info["count"] == 1
+        assert info["max_ms"] >= 500.0
+        # A served request on the same router does charge heat.
+        for shard in range(router.n_shards):
+            router.replica(shard, 0).fault_hook = None
+        router.search(tokens, 0.5)
+        assert sum(router.fragment_heat().values()) > 0
+
     def test_status_shape(self, cluster):
         cluster.search(cluster.tokens_of(0), 0.5)
         status = cluster.status()
