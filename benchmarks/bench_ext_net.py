@@ -1,0 +1,222 @@
+"""Extension: the TCP transport's tax over the in-process gateway.
+
+The net subsystem's contract is "same answers, now over a socket" — so
+the interesting number is what the wire costs.  This bench serves one
+:class:`~repro.net.server.GatewayServer` over a live cluster and replays
+the same probe mix (a) in-process through ``SimilarityGateway.serve()``
+and (b) over localhost TCP at several client-connection counts, each
+client pipelining its share of the probes.  Every wire answer is
+compared bit-for-bit against the in-process one, and the JSON baseline
+``benchmarks/results/BENCH_net.json`` records throughput and latency
+percentiles per connection count — the numbers future transport PRs
+regress against.
+
+Expected shape: the wire adds per-request overhead (framing, JSON,
+loopback round-trip), so in-process throughput wins; adding client
+connections amortizes the round-trips across the server's concurrent
+scheduling waves, so wire throughput should not collapse as connections
+grow.  Gates are deliberately modest (identity is the hard one) so slow
+CI machines stay green.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+import time
+
+from _common import RESULTS_DIR, corpus, record_table
+from repro.cluster import build_cluster
+from repro.gateway import GatewayConfig, GatewayRequest, SimilarityGateway
+from repro.net import GatewayClient, GatewayServer, ServerConfig
+from repro.service import SegmentIndex
+
+THETA = 0.6
+N_RECORDS = 300
+N_VERTICAL = 8
+N_SHARDS = 3
+N_PROBES = 160
+ZIPF = 1.2
+WAVE = 32
+SEED = 11
+CONNECTION_COUNTS = (1, 4, 8)
+
+JSON_PATH = RESULTS_DIR / "BENCH_net.json"
+
+
+def _zipf_mix(records):
+    rng = random.Random(SEED)
+    weights = [1.0 / (i + 1) ** ZIPF for i in range(len(records))]
+    picks = rng.choices(range(len(records)), weights=weights, k=N_PROBES)
+    return [list(records[i].tokens) for i in picks]
+
+
+class _LiveServer:
+    """A GatewayServer on a background thread's event loop."""
+
+    def __init__(self, index):
+        # cache_size=0: every probe pays the router on both paths, so
+        # the comparison measures transport, not cache warmth.
+        self.gateway = SimilarityGateway(
+            build_cluster(index, n_shards=N_SHARDS, replication=2),
+            GatewayConfig(max_batch=WAVE, cache_size=0),
+        )
+        self.server = GatewayServer(self.gateway, ServerConfig())
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(10.0)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            self.address = await self.server.start()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+
+        self.loop.run_until_complete(main())
+        self.loop.close()
+
+    def stop(self):
+        if self._stop is not None:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+
+
+def _wire_round(address, mix, n_connections):
+    """Replay ``mix`` over ``n_connections`` concurrent clients."""
+    host, port = address
+    results = [None] * len(mix)
+    latencies = []
+    lock = threading.Lock()
+
+    def worker(offset):
+        mine = []
+        with GatewayClient(host, port, pool_size=1) as client:
+            for i in range(offset, len(mix), n_connections):
+                started = time.perf_counter()
+                hits = client.search(mix[i], THETA)
+                mine.append(time.perf_counter() - started)
+                results[i] = hits
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=worker, args=(offset,))
+               for offset in range(n_connections)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies.sort()
+    p = lambda q: round(latencies[int(q * (len(latencies) - 1))] * 1e3, 3)
+    return {
+        "connections": n_connections,
+        "wall_s": round(wall, 6),
+        "throughput_qps": round(len(mix) / wall, 1),
+        "p50_ms": p(0.50),
+        "p95_ms": p(0.95),
+        "p99_ms": p(0.99),
+    }, results
+
+
+def test_net_transport_overhead(benchmark):
+    records = corpus("wiki", N_RECORDS)
+    index = SegmentIndex.build(records, n_vertical=N_VERTICAL)
+    mix = _zipf_mix(records)
+
+    def sweep():
+        # (a) the in-process twin: same gateway machinery, no sockets.
+        inproc = SimilarityGateway(
+            build_cluster(index, n_shards=N_SHARDS, replication=2),
+            GatewayConfig(max_batch=WAVE, cache_size=0),
+        )
+        requests = [GatewayRequest(tuple(tokens), THETA) for tokens in mix]
+        started = time.perf_counter()
+        responses = []
+        for lo in range(0, len(requests), WAVE):
+            responses.extend(inproc.serve(requests[lo:lo + WAVE]))
+        inproc_wall = time.perf_counter() - started
+        expected = [list(response.hits) for response in responses]
+
+        # (b) the same mix over localhost TCP, per connection count.
+        live = _LiveServer(index)
+        try:
+            rounds = []
+            identical = True
+            for n_connections in CONNECTION_COUNTS:
+                row, results = _wire_round(live.address, mix, n_connections)
+                identical = identical and results == expected
+                rounds.append(row)
+        finally:
+            live.stop()
+        return {
+            "inproc_wall_s": round(inproc_wall, 6),
+            "inproc_qps": round(len(mix) / inproc_wall, 1),
+            "rounds": rounds,
+            "identical": identical,
+            "server_metrics": live.server.metrics.group("net"),
+        }
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rounds = measured["rounds"]
+
+    document = {
+        "bench": "net",
+        "corpus": {
+            "name": "wiki", "n_records": N_RECORDS, "theta": THETA,
+            "n_vertical": N_VERTICAL, "n_shards": N_SHARDS,
+            "n_probes": N_PROBES, "zipf": ZIPF,
+        },
+        "inprocess": {"wall_s": measured["inproc_wall_s"],
+                      "throughput_qps": measured["inproc_qps"]},
+        "wire": rounds,
+        "wire_overhead_x": round(
+            measured["inproc_qps"] / max(rounds[-1]["throughput_qps"], 0.1),
+            3,
+        ),
+        "identical_results": measured["identical"],
+        "server_metrics": measured["server_metrics"],
+    }
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    record_table(
+        "ext_net",
+        [{"path": "in-process", "connections": "",
+          "wall_s": measured["inproc_wall_s"],
+          "throughput_qps": measured["inproc_qps"],
+          "p50_ms": "", "p95_ms": "", "p99_ms": ""}]
+        + [{"path": "tcp", "connections": row["connections"],
+            "wall_s": row["wall_s"],
+            "throughput_qps": row["throughput_qps"],
+            "p50_ms": row["p50_ms"], "p95_ms": row["p95_ms"],
+            "p99_ms": row["p99_ms"]}
+           for row in rounds],
+        f"Extension — TCP transport vs in-process gateway, wiki-like "
+        f"n={N_RECORDS}, θ={THETA}, {N_PROBES} Zipf({ZIPF}) probes",
+        columns=("path", "connections", "wall_s", "throughput_qps",
+                 "p50_ms", "p95_ms", "p99_ms"),
+    )
+
+    # The hard gate: every answer that crossed the wire is bit-identical
+    # to the in-process gateway's, at every connection count.
+    assert measured["identical"]
+    # Every request was served exactly once (no losses, no duplicates).
+    metrics = measured["server_metrics"]
+    assert metrics["requests"] == N_PROBES * len(CONNECTION_COUNTS)
+    assert metrics["responses"] == metrics["requests"]
+    assert metrics.get("dropped_responses", 0) == 0
+    # Modest shape gates: the wire serves, and added connections don't
+    # collapse throughput (amortized round-trips).
+    for row in rounds:
+        assert row["throughput_qps"] > 0
+        assert row["p99_ms"] >= row["p50_ms"] > 0
+    assert rounds[-1]["throughput_qps"] >= 0.5 * rounds[0]["throughput_qps"]

@@ -2,7 +2,8 @@
 
 One seed fixes every fault the harness injects — task deaths, stragglers,
 DFS errors, a driver kill, checkpoint corruption, replica flaps, latency
-spikes — and the scenarios in :mod:`repro.chaos.harness` drive each layer
+spikes, torn frames, stalled sockets and killed connections — and the
+scenarios in :mod:`repro.chaos.harness` drive each layer
 of the stack through them, checking the repo's robustness contract: the
 run either recovers to **bit-identical** output, or fails with a typed
 :class:`~repro.errors.ReproError` (or an explicitly flagged partial
@@ -20,6 +21,7 @@ from repro.chaos.harness import (
     run_gateway_scenario,
     run_ingest_scenario,
     run_join_scenario,
+    run_net_scenario,
     run_recovery_report,
     run_search_scenario,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "run_gateway_scenario",
     "run_ingest_scenario",
     "run_join_scenario",
+    "run_net_scenario",
     "run_recovery_report",
     "run_search_scenario",
 ]

@@ -34,6 +34,13 @@ contract the repo promises:
   re-applied — answer probes bit-identically to an uninterrupted twin,
   with the post-compaction index *structurally* identical (equal pickle
   bytes) to a fresh index built from the same records.
+* :func:`run_net_scenario` — the TCP front door: a live
+  :class:`~repro.net.server.GatewayServer` is hit with seeded socket
+  faults (torn frames, half-sent-then-silent headers, peers that hang up
+  before reading their response, garbage headers); every probe must
+  still answer bit-identically to the single-node index, stalled
+  connections must be timed out and counted, garbage must be rejected
+  with a typed ``ProtocolError`` frame, and a final drain must complete.
 
 :func:`run_recovery_report` chains them all into the
 :class:`RecoveryReport` the ``repro chaos`` CLI prints.  Everything is a
@@ -781,12 +788,220 @@ def run_gateway_scenario(
     )
 
 
+def run_net_scenario(
+    seed: int,
+    theta: float = 0.6,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 80,
+    n_requests: int = 20,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Abuse the TCP front door with seeded socket faults; answers must
+    stay exact and the server must keep serving.
+
+    A real :class:`~repro.net.server.GatewayServer` listens on an
+    ephemeral localhost port; a healthy pooled client runs a seeded
+    probe plan against it while :meth:`FaultSchedule.net_fault` picks
+    which request indices are subjected to which wire fault:
+
+    * *torn-frame* — the search frame is written in three separate
+      chunks: the server must reassemble it and answer bit-identically;
+    * *stalled-connection* — a connection sends half a header and goes
+      quiet: the server must drop it after ``frame_timeout`` (counted),
+      while the same probe completes on the healthy connection;
+    * *connection-kill* — a connection sends a full request and hangs up
+      before reading the response: the server must absorb the dead peer
+      and keep serving everyone else.
+
+    A garbage header is also thrown at a fresh connection and must be
+    rejected with a typed ``ProtocolError`` frame before the connection
+    is dropped.  The drill ends with a client-triggered drain; every
+    probe's answer is compared against the single-node index.  The
+    report's results, counters and fault log are pure functions of the
+    seed (timing-dependent byte/response counts are deliberately left
+    out).
+    """
+    import asyncio
+
+    from repro.gateway import GatewayConfig, SimilarityGateway
+    from repro.net.client import AsyncGatewayClient
+    from repro.net.protocol import (
+        ERROR,
+        FrameDecoder,
+        encode_frame,
+        hello_frame,
+        hits_from_wire,
+        search_frame,
+    )
+    from repro.net.server import GatewayServer, ServerConfig
+
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig(net_fault_rate=0.4))
+    injector = FaultInjector(schedule, tracer)
+    records = make_corpus("wiki", n_records, seed=seed % 971)
+    index = SegmentIndex.build(records, n_vertical=8)
+    mark = tracer.mark()
+    stall_timeout = 0.2
+
+    async def drill() -> Dict[str, Any]:
+        router = build_cluster(index, n_shards=2, replication=2,
+                               tracer=tracer)
+        gateway = SimilarityGateway(router, GatewayConfig(max_batch=8))
+        server = GatewayServer(
+            gateway,
+            ServerConfig(frame_timeout=stall_timeout, drain_grace=0.5),
+            tracer=tracer,
+        )
+        host, port = await server.start()
+
+        async def read_frame(reader, decoder):
+            """One response frame off a raw connection (None on EOF)."""
+            while True:
+                data = await asyncio.wait_for(reader.read(65536), 10.0)
+                if not data:
+                    return None
+                frames = decoder.feed(data)
+                if frames:
+                    return frames[0]
+
+        async def raw_conn():
+            reader, writer = await asyncio.open_connection(host, port)
+            decoder = FrameDecoder()
+            writer.write(encode_frame(hello_frame(0, "chaos")))
+            await writer.drain()
+            await read_frame(reader, decoder)
+            return reader, writer, decoder
+
+        client = AsyncGatewayClient(host, port, tenant="chaos",
+                                    pool_size=1)
+        stalled_writers = []
+        answered = 0
+        mismatches = 0
+        for i in range(n_requests):
+            pick = stable_mod(seed + i, len(records))
+            tokens = list(records[pick].tokens)
+            expected = index.probe(tokens, theta, func)
+            fault = schedule.net_fault(i)
+            if fault == "torn-frame":
+                injector.record("torn-frame", f"request-{i}",
+                                "frame written in 3 chunks")
+                reader, writer, decoder = await raw_conn()
+                data = encode_frame(
+                    search_frame(1, tokens, theta, func.value)
+                )
+                for chunk in (data[:5], data[5:13], data[13:]):
+                    writer.write(chunk)
+                    await writer.drain()
+                    await asyncio.sleep(0.01)
+                response = await read_frame(reader, decoder)
+                hits = hits_from_wire(response.payload["hits"])
+                writer.close()
+            elif fault == "stalled-connection":
+                injector.record("stalled-connection", f"request-{i}",
+                                "header left half-sent")
+                _reader, writer, _decoder = await raw_conn()
+                writer.write(encode_frame(
+                    search_frame(1, tokens, theta, func.value)
+                )[:5])
+                await writer.drain()
+                stalled_writers.append(writer)
+                # The probe must still complete on the healthy pool.
+                hits = await client.search(tokens, theta, func=func)
+            elif fault == "connection-kill":
+                injector.record("connection-kill", f"request-{i}",
+                                "peer hung up before reading the response")
+                _reader, writer, _decoder = await raw_conn()
+                writer.write(encode_frame(
+                    search_frame(1, tokens, theta, func.value)
+                ))
+                await writer.drain()
+                writer.close()
+                hits = await client.search(tokens, theta, func=func)
+            else:
+                hits = await client.search(tokens, theta, func=func)
+            answered += 1
+            if hits != expected:
+                mismatches += 1
+
+        # Garbage header: typed rejection, then the connection drops.
+        injector.record("garbage-header", "raw-connection",
+                        "junk bytes instead of a frame header")
+        reader, writer, decoder = await raw_conn()
+        writer.write(b"XXjunk-not-a-frame")
+        await writer.drain()
+        response = await read_frame(reader, decoder)
+        garbage_typed = (
+            response is not None
+            and response.kind == ERROR
+            and response.payload.get("error") == "ProtocolError"
+        )
+        garbage_dropped = (await read_frame(reader, decoder)) is None
+        writer.close()
+
+        # The stalled peers must be timed out and dropped (real time:
+        # the read timeout is a wall-clock one).
+        n_stalls = sum(
+            1 for event in injector.events
+            if event.kind == "stalled-connection"
+        )
+        for _ in range(100):
+            if server.metrics.get("net",
+                                  "stalled_connections") >= n_stalls:
+                break
+            await asyncio.sleep(0.05)
+        stalls_dropped = server.metrics.get("net", "stalled_connections")
+
+        await client.drain()
+        await server.wait_drained()
+        await client.close()
+        for writer in stalled_writers:
+            writer.close()
+        return {
+            "answered": answered,
+            "mismatches": mismatches,
+            "garbage_typed": garbage_typed,
+            "garbage_dropped": garbage_dropped,
+            "stalls_dropped": stalls_dropped,
+            "stalls_injected": n_stalls,
+            # Only seed-deterministic counters (no byte/response counts,
+            # which depend on how TCP slices the stream).
+            "counters": {
+                "requests": server.metrics.get("net", "requests"),
+                "connections": server.metrics.get("net", "connections"),
+                "protocol_errors": server.metrics.get(
+                    "net", "protocol_errors"
+                ),
+                "stalled_connections": stalls_dropped,
+            },
+        }
+
+    detail = asyncio.run(drill())
+    matched = (
+        detail["mismatches"] == 0
+        and detail["answered"] == n_requests
+        and detail["garbage_typed"]
+        and detail["garbage_dropped"]
+        and detail["stalls_dropped"] == detail["stalls_injected"]
+    )
+    return ScenarioReport(
+        scenario="net",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery=_recovery_from_spans(tracer, mark),
+        detail=detail,
+    )
+
+
 SCENARIOS = {
     "join": run_join_scenario,
     "cluster": run_cluster_scenario,
     "search": run_search_scenario,
     "ingest": run_ingest_scenario,
     "gateway": run_gateway_scenario,
+    "net": run_net_scenario,
 }
 
 

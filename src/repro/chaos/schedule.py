@@ -66,6 +66,10 @@ class ChaosConfig:
         latency_rate: Probability one replica probe hits a latency spike.
         latency_spike: Seconds charged to the chaos clock per spike (what
             request deadlines trip against).
+        net_fault_rate: Probability one wire request is subjected to a
+            socket fault (torn frame, stalled connection, or mid-request
+            connection kill — the kind is a second seeded draw; see
+            :meth:`FaultSchedule.net_fault`).
     """
 
     task_failure_rate: float = 0.0
@@ -76,11 +80,12 @@ class ChaosConfig:
     replica_crash_probes: int = 2
     latency_rate: float = 0.0
     latency_spike: float = 0.05
+    net_fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("task_failure_rate", "straggler_rate",
                      "dfs_read_error_rate", "dfs_write_error_rate",
-                     "latency_rate"):
+                     "latency_rate", "net_fault_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {rate}")
@@ -135,6 +140,18 @@ class FaultSchedule:
         else:
             return False
         return self._unit("dfs", op, path, call_index) < rate
+
+    #: Wire faults :meth:`net_fault` rotates through (seeded second draw).
+    NET_FAULT_KINDS = ("torn-frame", "stalled-connection", "connection-kill")
+
+    def net_fault(self, request_index: int) -> Optional[str]:
+        """Which socket fault (if any) hits the ``request_index``-th wire
+        request — ``None``, or one of :data:`NET_FAULT_KINDS`."""
+        if self._unit("net", request_index) >= self.config.net_fault_rate:
+            return None
+        kinds = self.NET_FAULT_KINDS
+        draw = self._unit("net-kind", request_index)
+        return kinds[int(draw * len(kinds)) % len(kinds)]
 
     def latency_spike(self, shard: int, replica: int, probe_index: int) -> float:
         """Chaos-clock seconds this replica probe is delayed by."""

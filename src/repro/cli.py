@@ -23,11 +23,20 @@ Subcommands:
   coalescing, micro-batched scatter, per-tenant quotas and (with
   ``--hedge``) hedged backup probes, printing shared-clock p50/p95/p99
   per tenant; ``--verify`` diffs every answer against a direct router;
+* ``serve`` — the real TCP front door: load a cluster directory, stand a
+  :class:`~repro.gateway.gateway.SimilarityGateway` behind an asyncio
+  socket server, and serve length-prefixed JSON frames until SIGTERM /
+  SIGINT triggers a graceful drain (final stats printed as JSON);
+* ``query`` — client end of the same wire: ``--connect HOST:PORT`` and
+  probe a running server (``--query`` / ``--query-file`` / ``--status``
+  / ``--drain``), printing the same JSON documents ``cluster search``
+  prints so the two paths diff cleanly;
 * ``chaos`` — seeded chaos drill: inject faults (task deaths, stragglers,
   a driver kill, checkpoint corruption, replica flaps, hot-key storms,
-  snapshot bit-flips) across the pipeline, cluster, service and gateway
-  layers and print a JSON recovery report; exits 1 unless every scenario
-  recovered to bit-identical output or a typed error;
+  snapshot bit-flips, torn frames and killed connections) across the
+  pipeline, cluster, service, gateway and network layers and print a
+  JSON recovery report; exits 1 unless every scenario recovered to
+  bit-identical output or a typed error;
 * ``trace`` — summarize/convert a trace written with ``--trace``.
 
 ``join`` and ``search`` accept ``--trace PATH``: the run records one span
@@ -57,6 +66,11 @@ Examples::
     python -m repro gateway serve-sim wiki.cluster --probes 400 --zipf 1.2 \\
         --tenants 3 --storm 32 --hedge --slow-replica 0.02 --verify
     python -m repro ingest wiki.txt --base 100 --batch-size 32 --verify
+    python -m repro serve wiki.cluster --port 7777 &
+    python -m repro query --connect 127.0.0.1:7777 \\
+        --query "w007 w012 w040" --theta 0.6
+    python -m repro query --connect 127.0.0.1:7777 --drain
+    python -m repro chaos --seed 7 --scenario net
     python -m repro chaos --seed 7 --scenario gateway
     python -m repro chaos --seed 7 --scenario ingest
     python -m repro chaos --seed 7
@@ -354,6 +368,70 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record gateway-dispatch and scatter spans as "
                              "JSONL plus a Chrome trace twin")
 
+    serve = sub.add_parser(
+        "serve", help="TCP server: the gateway over a cluster directory "
+                      "behind real sockets (SIGTERM drains gracefully)"
+    )
+    serve.add_argument("cluster_dir",
+                       help="directory written by 'repro cluster build'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7777,
+                       help="TCP port; 0 binds an ephemeral port and prints "
+                            "the actual one (default 7777)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest micro-batch one gateway dispatch round "
+                            "hands the router (default 32)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="gateway result-cache capacity (default 256)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="per-connection outstanding-request bound; past "
+                            "it the reader stops reading and backpressure "
+                            "reaches the peer as TCP flow control")
+    serve.add_argument("--frame-timeout", type=float, default=30.0,
+                       help="seconds a half-sent frame may stall before the "
+                            "connection is dropped (default 30)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       help="seconds a drain waits for peers to hang up "
+                            "before closing their sockets (default 5)")
+    serve.add_argument("--hedge", action="store_true",
+                       help="enable hedged backup probes on the router")
+    serve.add_argument("--adaptive-hedge", action="store_true",
+                       help="hedge with a per-tenant-p95-derived delay "
+                            "(implies --hedge)")
+    serve.add_argument("--ingest", action="store_true",
+                       help="attach a streaming ingest tier so ingest-append "
+                            "frames land (otherwise appends fail typed)")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="on exit, write the server's phase=\"net\" spans "
+                            "(one per connection and request) as JSONL plus "
+                            "a Chrome trace twin")
+
+    query = sub.add_parser(
+        "query", help="query a running 'repro serve' over TCP"
+    )
+    query.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="address of the running server")
+    qwhat = query.add_mutually_exclusive_group(required=True)
+    qwhat.add_argument("--query", help="probe tokens (whitespace-separated)")
+    qwhat.add_argument("--query-file",
+                       help="batch probe: one record per line, corpus "
+                            "format; sent as a single search_batch frame")
+    qwhat.add_argument("--status", action="store_true",
+                       help="print the server's status JSON instead")
+    qwhat.add_argument("--drain", action="store_true",
+                       help="ask the server to drain gracefully and exit")
+    query.add_argument("--theta", type=float, default=0.8)
+    query.add_argument("--func",
+                       choices=[f.value for f in SimilarityFunction],
+                       default="jaccard")
+    query.add_argument("-k", type=int, default=None,
+                       help="return at most k hits per query")
+    query.add_argument("--tenant", default="default",
+                       help="tenant name sent in the handshake (quotas and "
+                            "per-tenant latency follow it)")
+    query.add_argument("--timeout", type=float, default=5.0,
+                       help="per-call socket timeout in seconds (default 5)")
+
     chaos = sub.add_parser(
         "chaos", help="seeded chaos drill: inject faults, verify recovery"
     )
@@ -361,7 +439,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chaos seed; the same seed injects exactly the "
                             "same faults on every run")
     chaos.add_argument("--scenario", choices=("join", "search", "cluster",
-                                              "ingest", "gateway", "all"),
+                                              "ingest", "gateway", "net",
+                                              "all"),
                        default="all",
                        help="which layer to drill (default: all)")
     chaos.add_argument("--theta", type=float, default=0.7)
@@ -1105,6 +1184,137 @@ def _cmd_gateway(args) -> int:
     return _GATEWAY_COMMANDS[args.gateway_command](args)
 
 
+def _parse_connect(value: str):
+    """``HOST:PORT`` -> ``(host, port)`` with CLI-clear failures."""
+    from repro.errors import ConfigError
+
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"--connect must be HOST:PORT, got {value!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(
+            f"--connect port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 < port <= 65535:
+        raise ConfigError(f"--connect port out of range: {port}")
+    return host, port
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+    import os
+    import signal
+
+    from repro.cluster import HedgeConfig, load_cluster
+    from repro.gateway import GatewayConfig, SimilarityGateway
+    from repro.net import GatewayServer, ServerConfig
+
+    tracer = Tracer() if args.trace else NOOP_TRACER
+    hedge = HedgeConfig() if (args.hedge or args.adaptive_hedge) else None
+    router = load_cluster(args.cluster_dir, tracer=tracer, hedge=hedge)
+    if args.ingest:
+        from repro.ingest import StreamingIndex
+        from repro.mapreduce.hdfs import InMemoryDFS
+
+        router.attach_ingest(StreamingIndex.attach(
+            InMemoryDFS(), "serve-ingest", router.order, router.partitioner
+        ))
+    gateway = SimilarityGateway(
+        router,
+        GatewayConfig(
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            adaptive_hedge=args.adaptive_hedge,
+        ),
+        tracer=tracer,
+    )
+    server = GatewayServer(
+        gateway,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            frame_timeout=args.frame_timeout,
+            drain_grace=args.drain_grace,
+        ),
+        tracer=tracer,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # No signal support here (non-main thread, some
+                # platforms): a drain frame still stops the server.
+                break
+        print(
+            f"listening on {host}:{port} "
+            f"(cluster {args.cluster_dir}, pid {os.getpid()})",
+            file=sys.stderr, flush=True,
+        )
+        await server.wait_drained()
+
+    asyncio.run(run())
+    if args.trace:
+        _export_trace(tracer, args.trace)
+    print(json.dumps(server.status()))
+    print("drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.net import GatewayClient
+
+    host, port = _parse_connect(args.connect)
+    func = SimilarityFunction(args.func)
+    with GatewayClient(host, port, tenant=args.tenant,
+                       timeout=args.timeout) as client:
+        if args.status:
+            print(json.dumps(client.status()))
+            return 0
+        if args.drain:
+            client.drain()
+            print("server draining", file=sys.stderr)
+            return 0
+        if args.query_file:
+            queries = [
+                list(record.tokens)
+                for record in _read_query_file(args.query_file)
+            ]
+            results = client.search_batch(
+                queries, args.theta, k=args.k, func=func
+            )
+            document = {
+                "theta": args.theta,
+                "func": func.value,
+                "results": [
+                    {"query": tokens, "hits": _hit_rows(hits)}
+                    for tokens, hits in zip(queries, results)
+                ],
+            }
+        else:
+            tokens = args.query.split()
+            hits = client.search(tokens, args.theta, k=args.k, func=func)
+            document = {
+                "query": tokens,
+                "theta": args.theta,
+                "func": func.value,
+                "hits": _hit_rows(hits),
+            }
+    print(json.dumps(document))
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -1165,6 +1375,8 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "cluster": _cmd_cluster,
     "gateway": _cmd_gateway,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
 }

@@ -208,6 +208,8 @@ class ClusterRouter:
         #: optional streaming write tier (see :meth:`attach_ingest`).
         self._ingest: Optional[IngestNode] = None
         self._base_rids: frozenset = frozenset()
+        #: local component of :attr:`index_epoch` (bumped per write batch).
+        self._epoch = 0
 
     # -- introspection -------------------------------------------------
     @property
@@ -317,8 +319,23 @@ class ClusterRouter:
                     f"record id {record.rid} already indexed by the cluster"
                 )
         added = self._ingest.streaming.apply_batch(batch)
+        self._epoch += 1
         self.metrics.increment(ROUTE_GROUP, "ingested_records", added)
         return added
+
+    @property
+    def index_epoch(self) -> int:
+        """A counter that changes whenever served content may have:
+        bumped per :meth:`apply_batch` and per ingest generation swap
+        (flush/compaction manifest commits, which can also happen
+        out-of-band through the streaming index).  Result caches above
+        the router — the gateway's coalescing LRU — tag entries with
+        this epoch so a post-ingest probe never serves a stale result.
+        """
+        epoch = self._epoch
+        if self._ingest is not None:
+            epoch += self._ingest.streaming.manifest_version
+        return epoch
 
     def latency_info(self) -> Dict[str, Dict]:
         """Request- and scatter-leg latency percentiles.
@@ -598,6 +615,7 @@ class ClusterRouter:
         func: SimilarityFunction = SimilarityFunction.JACCARD,
         exclude: Optional[Sequence[Optional[int]]] = None,
         deadline: Optional[float] = None,
+        hedge_delay: Optional[float] = None,
     ) -> List[List[SearchHit]]:
         """Batched exact search: dedupe, admit once, scatter per shard.
 
@@ -617,7 +635,10 @@ class ClusterRouter:
         router clock.  With a :class:`~repro.cluster.failover.HedgeConfig`
         configured, slow shard legs are hedged onto a backup replica (the
         first answer wins; replicas serve the same slice, so the result
-        is bit-identical either way).
+        is bit-identical either way).  ``hedge_delay`` overrides the
+        rolling-p95 fire point for this batch — the gateway's adaptive
+        per-tenant hedging rides this, and since hedging only picks
+        *which replica answers*, any override keeps results bit-identical.
         """
         func = SimilarityFunction(func)
         if exclude is not None and len(exclude) != len(queries):
@@ -637,7 +658,7 @@ class ClusterRouter:
             try:
                 self._check_deadline(deadline_at)
                 merged = self._batch_scatter(queries, theta, func,
-                                             deadline_at)
+                                             deadline_at, hedge_delay)
             finally:
                 self._admission.release()
         finally:
@@ -661,6 +682,7 @@ class ClusterRouter:
         theta: float,
         func: SimilarityFunction,
         deadline_at: Optional[float],
+        hedge_delay: Optional[float] = None,
     ) -> List[List[SearchHit]]:
         """Dedupe, route, scatter shard-batched, gather — one merged hit
         list per input query (order preserved, excludes/k not yet applied)."""
@@ -708,7 +730,7 @@ class ClusterRouter:
                 dis = shard_queries[shard]
                 shard_hits = self._probe_shard_batch(
                     shard, [uniques[di] for di in dis], theta, func,
-                    self.tracer, deadline_at,
+                    self.tracer, deadline_at, hedge_delay,
                 )
                 for di, hits in zip(dis, shard_hits):
                     legs_by_query[di].append(hits)
@@ -915,6 +937,7 @@ class ClusterRouter:
         func: SimilarityFunction,
         tracer: Tracer,
         deadline_at: Optional[float] = None,
+        hedge_delay: Optional[float] = None,
     ) -> List[List[SearchHit]]:
         """Serve all of ``queries`` on one available replica of ``shard``.
 
@@ -976,7 +999,8 @@ class ClusterRouter:
                     continue
                 backup = self._hedge_backup(shard, index)
                 if backup is not None:
-                    outcomes = self._race_legs(attempt, node, backup)
+                    outcomes = self._race_legs(attempt, node, backup,
+                                               hedge_delay)
                 else:
                     outcomes = [(node, *attempt(node))]
                 result: Optional[List[List[SearchHit]]] = None
@@ -1049,9 +1073,11 @@ class ClusterRouter:
         return min(hedge.max_delay,
                    max(hedge.min_delay, self.leg_latency.percentile(0.95)))
 
-    def _race_legs(self, attempt, primary: ShardNode, backup: ShardNode):
+    def _race_legs(self, attempt, primary: ShardNode, backup: ShardNode,
+                   delay: Optional[float] = None):
         """Run ``attempt(primary)``; if it is still unanswered after the
-        hedge delay, race ``attempt(backup)`` and take the first success.
+        hedge delay (``delay`` overrides the rolling-p95 default), race
+        ``attempt(backup)`` and take the first success.
 
         Returns ``(node, hits, spans, error)`` outcomes in arrival order,
         stopping at the first success — a still-running loser is
@@ -1063,7 +1089,9 @@ class ClusterRouter:
         if pool is None:
             pool = self._hedge_pool = ThreadPoolExecutor(max_workers=4)
         f1 = pool.submit(attempt, primary)
-        done, _pending = wait([f1], timeout=self._hedge_delay())
+        done, _pending = wait(
+            [f1], timeout=self._hedge_delay() if delay is None else delay
+        )
         if f1 in done:
             return [(primary, *f1.result())]
         self.metrics.increment(ROUTE_GROUP, "hedges")

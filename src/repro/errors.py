@@ -72,6 +72,19 @@ class QuotaExceededError(GatewayError):
     """A tenant exceeded its outstanding-request quota and was shed."""
 
 
+class TransportError(ReproError):
+    """A network-transport operation failed (connect, timeout, send)."""
+
+
+class ProtocolError(TransportError):
+    """A wire frame violated the protocol (bad magic/version, oversized
+    or malformed body) and was rejected before reaching the gateway."""
+
+
+class DrainingError(TransportError):
+    """The server is draining and no longer accepts new work."""
+
+
 class CheckpointError(DFSError):
     """A pipeline checkpoint is missing, unreadable, or failed its digest."""
 

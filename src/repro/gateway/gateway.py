@@ -101,7 +101,18 @@ class GatewayConfig:
     what the tests and chaos replays use); a positive window additionally
     lets late arrivals join the batch."""
     cache_size: int = 1024
-    """Capacity of the gateway result LRU (0 disables caching)."""
+    """Capacity of the gateway result LRU (0 disables caching).  Entries
+    are tagged with the router's :attr:`~ClusterRouter.index_epoch` at
+    dispatch time; a hit tagged with an older epoch (the index mutated
+    via ``apply_batch`` or an ingest generation swap since) is treated
+    as a miss and recomputed, so post-ingest probes never serve stale
+    coalesced results."""
+    adaptive_hedge: bool = False
+    """Derive the hedge fire point from the dispatching tenants'
+    latency-histogram p95 instead of the router's global rolling leg
+    p95 (which remains the fallback below ``min_observations``).
+    Hedging only picks which replica answers, so results stay
+    bit-identical with or without this."""
     default_tenant: TenantConfig = field(default_factory=TenantConfig)
     tenants: Mapping[str, TenantConfig] = field(default_factory=dict)
     """Per-tenant overrides; unlisted tenants get ``default_tenant``."""
@@ -152,6 +163,7 @@ class _Pending:
     key: GatewayKey
     theta: float
     func: SimilarityFunction
+    tenant: str = "default"
 
 
 class SimilarityGateway:
@@ -175,7 +187,9 @@ class SimilarityGateway:
         self.metrics = Counters()
         self.latency = LatencyHistogram()
         self._tenant_latency: Dict[str, LatencyHistogram] = {}
-        self._cache: LRUCache[List[SearchHit]] = LRUCache(
+        #: result LRU; values are ``(index_epoch, hits)`` — see
+        #: :attr:`GatewayConfig.cache_size` for the invalidation rule.
+        self._cache: LRUCache[Tuple[int, List[SearchHit]]] = LRUCache(
             self.config.cache_size
         )
         self._inflight: Dict[GatewayKey, asyncio.Future] = {}
@@ -228,7 +242,7 @@ class SimilarityGateway:
         try:
             self._check_deadline(deadline_at)
             key = self._key(tokens, theta, func)
-            hits = self._cache.get(key)
+            hits = self._cache_get(key)
             if hits is not None:
                 self.metrics.increment(GATEWAY_GROUP, "cache_hits")
                 status = "cache-hit"
@@ -240,7 +254,8 @@ class SimilarityGateway:
                 else:
                     future = asyncio.get_running_loop().create_future()
                     self._inflight[key] = future
-                    self._enqueue(tenant, _Pending(key, float(theta), func))
+                    self._enqueue(tenant, _Pending(key, float(theta), func,
+                                                   tenant))
                 hits = await future
             self._check_deadline(deadline_at)
             return _view(hits, k, exclude)
@@ -350,9 +365,20 @@ class SimilarityGateway:
             span.attrs["groups"] = len(groups)
             for (theta, func_value), members in groups.items():
                 queries = [list(pending.key[0]) for pending in members]
+                # Epoch before the probe: a write landing mid-probe may
+                # or may not be visible in these results, so tag them
+                # with the older epoch and let the next get recompute.
+                epoch = self._router_epoch()
+                hedge_delay = (
+                    self._adaptive_hedge_delay(
+                        {pending.tenant for pending in members}
+                    )
+                    if self.config.adaptive_hedge else None
+                )
                 try:
                     results = self.router.search_batch(
-                        queries, theta, func=SimilarityFunction(func_value)
+                        queries, theta, func=SimilarityFunction(func_value),
+                        hedge_delay=hedge_delay,
                     )
                 except ReproError as exc:
                     for pending in members:
@@ -361,7 +387,7 @@ class SimilarityGateway:
                             future.set_exception(exc)
                     continue
                 for pending, hits in zip(members, results):
-                    self._cache.put(pending.key, hits)
+                    self._cache.put(pending.key, (epoch, hits))
                     future = self._inflight.pop(pending.key, None)
                     if future is not None and not future.done():
                         future.set_result(hits)
@@ -404,6 +430,50 @@ class SimilarityGateway:
         tokens: Iterable[str], theta: float, func: SimilarityFunction
     ) -> GatewayKey:
         return (tuple(sorted(set(tokens))), float(theta), func.value)
+
+    def _router_epoch(self) -> int:
+        """The router's index epoch (0 for routers without one)."""
+        return getattr(self.router, "index_epoch", 0)
+
+    def _cache_get(self, key: GatewayKey) -> Optional[List[SearchHit]]:
+        """A cached result, unless the index mutated since it was put —
+        an epoch-stale entry counts as ``cache_invalidated`` and misses,
+        so the probe recomputes against the current index."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        epoch, hits = entry
+        if epoch != self._router_epoch():
+            self.metrics.increment(GATEWAY_GROUP, "cache_invalidated")
+            return None
+        return hits
+
+    def _adaptive_hedge_delay(self, tenants) -> Optional[float]:
+        """The per-tenant-class hedge fire point for one dispatch group.
+
+        The most latency-sensitive tenant in the group wins: the lowest
+        per-tenant latency-histogram p95, clamped to the hedge config's
+        ``[min_delay, max_delay]``.  Tenants with fewer than
+        ``min_observations`` recorded requests don't vote; if nobody
+        votes this returns ``None`` and the router falls back to its
+        global rolling leg p95.  Either way the hedge only picks which
+        replica answers — the no-dedup race contract and bit-identical
+        results are untouched.
+        """
+        hedge = getattr(self.router, "hedge", None)
+        if hedge is None:
+            return None
+        best: Optional[float] = None
+        for tenant in sorted(tenants):
+            histogram = self._tenant_latency.get(tenant)
+            if histogram is None or len(histogram) < hedge.min_observations:
+                continue
+            p95 = histogram.percentile(0.95)
+            if best is None or p95 < best:
+                best = p95
+        if best is None:
+            return None
+        return min(hedge.max_delay, max(hedge.min_delay, best))
 
     def _tenant_histogram(self, tenant: str) -> LatencyHistogram:
         histogram = self._tenant_latency.get(tenant)

@@ -20,6 +20,7 @@ from repro.chaos import (
     run_cluster_scenario,
     run_ingest_scenario,
     run_join_scenario,
+    run_net_scenario,
     run_recovery_report,
     run_search_scenario,
 )
@@ -271,6 +272,43 @@ class TestScenarios:
             assert detail["probes_ok"]
             assert detail["structural_ok"]
 
+    def test_net_scenario_recovers(self):
+        report = run_net_scenario(7)
+        assert report.ok
+        assert report.matched
+        # Every probe answered and answered exactly, despite the faults.
+        assert report.detail["mismatches"] == 0
+        assert report.detail["answered"] == 20
+        # The garbage header was rejected typed before the drop.
+        assert report.detail["garbage_typed"]
+        assert report.detail["garbage_dropped"]
+        assert report.faults.get("garbage-header") == 1
+        assert report.detail["counters"]["protocol_errors"] >= 1
+        # Every stalled peer was timed out and counted.
+        assert (report.detail["stalls_dropped"]
+                == report.detail["stalls_injected"])
+
+    def test_net_scenario_replay_is_identical(self):
+        a = run_net_scenario(11)
+        b = run_net_scenario(11)
+        assert a.matched and b.matched
+        # Same seed -> same results, counters, and fault log.
+        assert a.faults == b.faults
+        assert a.detail == b.detail
+
+    def test_net_fault_schedule_is_deterministic(self):
+        config = ChaosConfig(net_fault_rate=0.5)
+        a = FaultSchedule(3, config)
+        b = FaultSchedule(3, config)
+        picks = [a.net_fault(i) for i in range(40)]
+        assert picks == [b.net_fault(i) for i in range(40)]
+        fired = [kind for kind in picks if kind is not None]
+        assert fired, "rate 0.5 over 40 draws must fire"
+        assert set(fired) <= set(FaultSchedule.NET_FAULT_KINDS)
+        # Different seed, different plan.
+        other = FaultSchedule(4, config)
+        assert picks != [other.net_fault(i) for i in range(40)]
+
     def test_recovery_report_is_deterministic(self):
         a = run_recovery_report(9, scenario="search")
         b = run_recovery_report(9, scenario="search")
@@ -281,7 +319,7 @@ class TestScenarios:
         tracer = Tracer()
         report = run_recovery_report(5, tracer=tracer)
         assert [s.scenario for s in report.scenarios] == [
-            "join", "cluster", "search", "ingest", "gateway",
+            "join", "cluster", "search", "ingest", "gateway", "net",
         ]
         assert report.ok
         assert report.total_faults() > 0

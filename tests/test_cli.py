@@ -398,6 +398,86 @@ class TestIngest:
         assert scenario["matched"]
 
 
+class TestServeAndQuery:
+    """The TCP front door: ``repro serve`` + ``repro query`` must print
+    exactly what ``repro cluster search`` prints for the same probes."""
+
+    @pytest.fixture
+    def cluster_dir(self, corpus_file, tmp_path, capsys):
+        path = tmp_path / "corpus.cluster"
+        assert main(["cluster", "build", corpus_file, "--output", str(path),
+                     "--shards", "3", "--replication", "2",
+                     "--vertical", "8"]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    @pytest.fixture
+    def live_server(self, cluster_dir):
+        import socket
+        import threading
+        import time as _time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", cluster_dir, "--port", str(port),
+                   "--drain-grace", "1"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = _time.monotonic() + 10.0
+        while _time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", port),
+                                         timeout=0.2).close()
+                break
+            except OSError:
+                _time.sleep(0.05)
+        yield f"127.0.0.1:{port}"
+        main(["query", "--connect", f"127.0.0.1:{port}", "--drain"])
+        thread.join(10.0)
+
+    def test_wire_json_matches_cluster_search(self, cluster_dir,
+                                              live_server, capsys):
+        query = "w001 w002 w003 w004"
+        assert main(["cluster", "search", cluster_dir, "--query", query,
+                     "--theta", "0.4"]) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(["query", "--connect", live_server, "--query", query,
+                     "--theta", "0.4"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire == local
+
+    def test_wire_batch_matches_cluster_search(self, cluster_dir,
+                                               live_server, corpus_file,
+                                               capsys):
+        assert main(["cluster", "search", cluster_dir,
+                     "--query-file", corpus_file, "--theta", "0.6"]) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(["query", "--connect", live_server,
+                     "--query-file", corpus_file, "--theta", "0.6"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire == local
+
+    def test_status_over_the_wire(self, live_server, capsys):
+        assert main(["query", "--connect", live_server, "--status"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["draining"] is False
+        assert "gateway" in status
+
+    def test_chaos_net_scenario(self, capsys):
+        code = main(["chaos", "--seed", "7", "--scenario", "net"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"]
+        scenario = doc["scenarios"][0]
+        assert scenario["scenario"] == "net"
+        assert scenario["matched"]
+        assert scenario["detail"]["mismatches"] == 0
+
+
 class TestErrors:
     def test_missing_stats_file(self, capsys):
         code = main(["stats", "/nonexistent/path.txt"])

@@ -130,6 +130,45 @@ class TestEveryVerbFailsClosed:
             capsys, ["cluster", "status", str(tmp_path / "nope")]
         )
 
+    def test_serve_bad_port(self, tmp_path, corpus_file, capsys):
+        cluster_dir = tmp_path / "c"
+        assert main(["cluster", "build", corpus_file,
+                     "--output", str(cluster_dir)]) == 0
+        capsys.readouterr()
+        assert_one_line_error(
+            capsys,
+            ["serve", str(cluster_dir), "--port", "99999"],
+            match="port",
+        )
+
+    def test_serve_missing_cluster_dir(self, tmp_path, capsys):
+        assert_one_line_error(
+            capsys, ["serve", str(tmp_path / "nope"), "--port", "0"]
+        )
+
+    def test_query_malformed_connect(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["query", "--connect", "nohost", "--query", "a b"],
+            match="HOST:PORT",
+        )
+
+    def test_query_non_numeric_port(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["query", "--connect", "localhost:http", "--query", "a b"],
+            match="integer",
+        )
+
+    def test_query_unreachable_host(self, capsys):
+        # Port 1 on localhost: nothing listens, connect is refused.
+        assert_one_line_error(
+            capsys,
+            ["query", "--connect", "127.0.0.1:1", "--query", "a b",
+             "--timeout", "1"],
+            match="cannot connect",
+        )
+
     def test_chaos_invalid_theta(self, capsys):
         assert_one_line_error(
             capsys,

@@ -290,3 +290,98 @@ class TestConfig:
     def test_response_ok_property(self):
         assert GatewayResponse((), None, "t").ok
         assert not GatewayResponse(None, "QuotaExceededError", "t").ok
+
+
+class TestCacheInvalidation:
+    def test_ingest_invalidates_cached_results(self, corpus, index):
+        """A cached answer must not outlive the index it was computed
+        on: after an ingest batch lands, the same probe recomputes and
+        sees the fresh record — never a stale cache hit."""
+        from repro.data.records import Record
+        from repro.ingest import StreamingIndex
+        from repro.mapreduce.hdfs import InMemoryDFS
+
+        gateway = make_gateway(index)
+        router = gateway.router
+        router.attach_ingest(StreamingIndex.attach(
+            InMemoryDFS(), "gw-epoch", router.order, router.partitioner,
+        ))
+        probe = tuple(corpus[0].tokens)
+        request = [GatewayRequest(probe, 0.5)]
+
+        before = list(gateway.serve(request)[0].hits)
+        assert list(gateway.serve(request)[0].hits) == before
+        assert gateway.metrics.get("gateway", "cache_hits") == 1
+
+        epoch_before = router.index_epoch
+        fresh_rid = max(record.rid for record in corpus) + 500
+        router.apply_batch([Record.make(fresh_rid, list(probe))])
+        assert router.index_epoch > epoch_before
+
+        after = list(gateway.serve(request)[0].hits)
+        # The stale entry was detected, not served.
+        assert gateway.metrics.get("gateway", "cache_invalidated") == 1
+        assert gateway.metrics.get("gateway", "cache_hits") == 1
+        assert fresh_rid in {hit.rid for hit in after}
+        assert fresh_rid not in {hit.rid for hit in before}
+
+        # The recomputed answer is cached under the new epoch and valid.
+        assert list(gateway.serve(request)[0].hits) == after
+        assert gateway.metrics.get("gateway", "cache_hits") == 2
+
+    def test_epoch_is_stable_without_writes(self, index):
+        gateway = make_gateway(index)
+        assert gateway.router.index_epoch == gateway.router.index_epoch
+
+
+class TestAdaptiveHedge:
+    def hedge(self):
+        return HedgeConfig(min_delay=0.002, max_delay=0.05,
+                           min_observations=4)
+
+    def test_delay_is_the_best_tenant_p95_clamped(self, index):
+        gateway = make_gateway(index, GatewayConfig(adaptive_hedge=True),
+                               hedge=self.hedge())
+        for _ in range(10):
+            gateway._tenant_histogram("paid").record(0.02)
+        assert gateway._adaptive_hedge_delay({"paid"}) == \
+            pytest.approx(0.02, rel=0.2)
+        # A slower tenant clamps to max_delay...
+        for _ in range(10):
+            gateway._tenant_histogram("slow").record(10.0)
+        assert gateway._adaptive_hedge_delay({"slow"}) == 0.05
+        # ...and the fastest tenant in a mixed group wins.
+        assert gateway._adaptive_hedge_delay({"slow", "paid"}) == \
+            pytest.approx(0.02, rel=0.2)
+
+    def test_cold_tenants_fall_back_to_global(self, index):
+        gateway = make_gateway(index, GatewayConfig(adaptive_hedge=True),
+                               hedge=self.hedge())
+        # Below min_observations nobody votes: the router's global
+        # rolling leg p95 takes over (delay None).
+        gateway._tenant_histogram("new").record(0.01)
+        assert gateway._adaptive_hedge_delay({"new"}) is None
+        # And with hedging off entirely, adaptive is inert.
+        unhedged = make_gateway(index, GatewayConfig(adaptive_hedge=True))
+        assert unhedged._adaptive_hedge_delay({"anyone"}) is None
+
+    def test_adaptive_hedge_keeps_bit_identity(self, corpus, index):
+        """With a stalled primary and a tenant-derived hedge delay in
+        force, answers still match the direct router exactly — the
+        adaptive delay only moves the fire point, never the contract."""
+        gateway = make_gateway(index, GatewayConfig(adaptive_hedge=True),
+                               hedge=self.hedge())
+        direct = build_cluster(index, n_shards=3, replication=2)
+        for _ in range(10):
+            gateway._tenant_histogram("acme").record(0.004)
+        stalled = gateway.router.replica(0, 0)
+        stalled.fault_hook = lambda target: time.sleep(0.05)
+        requests = [GatewayRequest(tuple(corpus[3].tokens), 0.5,
+                                   tenant="acme")]
+        for _ in range(2 * gateway.router.replication):
+            (response,) = gateway.serve(requests)
+            hits = list(response.hits)
+            assert hits == direct.search(list(corpus[3].tokens), 0.5)
+            assert len({hit.rid for hit in hits}) == len(hits)
+        route = gateway.router.metrics.group("cluster.route")
+        assert route.get("hedges", 0) >= 1
