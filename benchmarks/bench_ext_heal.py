@@ -1,0 +1,186 @@
+"""Extension: probe latency under self-healing — steady state vs rebuild.
+
+The control plane's pitch is that repair is *background* work: while a
+dead replica is detected, re-hydrated from its peer and verified, the
+cluster keeps answering from the surviving replicas — exactly and
+without a latency cliff.  This bench measures per-probe wall latency in
+two windows over the same Zipf-skewed query mix:
+
+* **steady** — full replication, control plane ticking, nothing broken;
+* **rebuild** — one replica hard-killed mid-load; the window spans from
+  the kill until the plane reports full replication again (detection
+  ticks, quarantine-free failover, peer-clone rebuild, verified
+  readmission).
+
+It emits ``benchmarks/results/BENCH_heal.json`` — the baseline the
+``heal-smoke`` CI job gates on — with both windows' p50/p95, the
+p95 ratio, and the heal outcome.  Every answer in both windows is
+compared bit-for-bit against the single-node index; a single mismatch
+fails the bench.
+
+Expected shape: the rebuild-window p95 stays within a small constant
+factor of steady state (failover is one extra replica sweep, and the
+rebuild itself happens inside a tick, off the probe path).  The in-test
+gate is deliberately loose (CI machines jitter); the JSON carries the
+exact ratio for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from _common import RESULTS_DIR, corpus, record_table
+from repro.chaos import ChaosClock
+from repro.cluster import (
+    BreakerConfig,
+    ControlPlane,
+    HealthConfig,
+    build_cluster,
+)
+from repro.service import SegmentIndex
+from repro.similarity.functions import SimilarityFunction
+
+THETA = 0.6
+N_RECORDS = 300
+N_VERTICAL = 10
+N_SHARDS = 3
+N_STEADY = 120
+PER_TICK = 12
+ZIPF = 1.5
+SEED = 7
+
+JSON_PATH = RESULTS_DIR / "BENCH_heal.json"
+
+
+def _zipf_queries(records, n):
+    rng = random.Random(SEED)
+    weights = [1.0 / (i + 1) ** ZIPF for i in range(len(records))]
+    picks = rng.choices(range(len(records)), weights=weights, k=n)
+    return [tuple(records[i].tokens) for i in picks]
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def _window_stats(samples_ms):
+    return {
+        "probes": len(samples_ms),
+        "p50_ms": round(_percentile(samples_ms, 0.50), 4),
+        "p95_ms": round(_percentile(samples_ms, 0.95), 4),
+    }
+
+
+def test_probe_latency_during_rebuild(benchmark):
+    records = corpus("wiki", N_RECORDS)
+    index = SegmentIndex.build(records, n_vertical=N_VERTICAL)
+    clock = ChaosClock()
+    router = build_cluster(
+        index,
+        n_shards=N_SHARDS,
+        replication=2,
+        breaker=BreakerConfig(failure_threshold=2, reset_timeout=1.0),
+        clock=clock,
+        sleep=clock.sleep,
+        independent_replicas=True,
+    )
+    plane = ControlPlane(
+        router, HealthConfig(miss_budget=3, scrub_interval=4)
+    )
+    queries = _zipf_queries(records, N_STEADY + 12 * PER_TICK)
+    expected = {tokens: index.probe(tokens, THETA) for tokens in set(queries)}
+    cursor = 0
+
+    def probe_window(n):
+        nonlocal cursor
+        samples, mismatches = [], 0
+        for _ in range(n):
+            tokens = queries[cursor]
+            cursor += 1
+            started = time.perf_counter()
+            hits = router.search(tokens, THETA)
+            samples.append((time.perf_counter() - started) * 1000.0)
+            if hits != expected[tokens]:
+                mismatches += 1
+        return samples, mismatches
+
+    def drill():
+        # Steady window: full replication, plane ticking along.
+        steady, steady_bad = [], 0
+        for _ in range(N_STEADY // PER_TICK):
+            plane.tick()
+            clock.advance(0.25)
+            samples, bad = probe_window(PER_TICK)
+            steady.extend(samples)
+            steady_bad += bad
+
+        # Rebuild window: kill a replica the head query routes to, then
+        # keep probing until the plane has detected, rebuilt and
+        # readmitted it (full replication again).
+        targets = router.target_fragments(
+            router.encode_query(queries[0]), THETA, SimilarityFunction.JACCARD
+        )
+        kill_shard = router.plan.shard_of(targets[0]) if targets else 0
+        router.replica(kill_shard, 0).fail()
+        rebuild, rebuild_bad = [], 0
+        ticks = 0
+        while (not plane.all_healthy()) and ticks < 12:
+            plane.tick()
+            clock.advance(0.25)
+            samples, bad = probe_window(PER_TICK)
+            rebuild.extend(samples)
+            rebuild_bad += bad
+            ticks += 1
+        return steady, steady_bad, rebuild, rebuild_bad, ticks
+
+    steady, steady_bad, rebuild, rebuild_bad, ticks = benchmark.pedantic(
+        drill, rounds=1, iterations=1
+    )
+
+    counters = router.metrics.group("cluster.health")
+    steady_stats = _window_stats(steady)
+    rebuild_stats = _window_stats(rebuild)
+    ratio = (
+        rebuild_stats["p95_ms"] / steady_stats["p95_ms"]
+        if steady_stats["p95_ms"] else float("inf")
+    )
+    document = {
+        "bench": "heal",
+        "theta": THETA,
+        "records": N_RECORDS,
+        "shards": N_SHARDS,
+        "steady": steady_stats,
+        "rebuild": rebuild_stats,
+        "rebuild_over_steady_p95": round(ratio, 4),
+        "mismatches": steady_bad + rebuild_bad,
+        "healed": plane.all_healthy(),
+        "rebuilds": counters.get("rebuilds", 0),
+        "rebuild_ticks": ticks,
+    }
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    record_table(
+        "ext_heal",
+        [
+            {"window": "steady", **steady_stats, "mismatches": steady_bad},
+            {"window": "rebuild", **rebuild_stats,
+             "mismatches": rebuild_bad},
+        ],
+        f"Extension — probe latency, steady vs during replica rebuild "
+        f"(wiki n={N_RECORDS}, θ={THETA}, Zipf({ZIPF}))",
+        columns=("window", "probes", "p50_ms", "p95_ms", "mismatches"),
+    )
+
+    # The heal contract: exact answers throughout, and the cluster is
+    # back at full replication with at least one automatic rebuild.
+    assert steady_bad + rebuild_bad == 0
+    assert plane.all_healthy()
+    assert counters.get("rebuilds", 0) >= 1
+    assert rebuild_stats["probes"] > 0
+    # Loose latency gate: rebuild must not melt the serving path.  The
+    # JSON carries the exact ratio for CI trend gating.
+    assert ratio < 50, f"rebuild p95 {ratio:.1f}x steady"

@@ -19,6 +19,7 @@ from repro.chaos.harness import (
     ScenarioReport,
     run_cluster_scenario,
     run_gateway_scenario,
+    run_heal_scenario,
     run_ingest_scenario,
     run_join_scenario,
     run_net_scenario,
@@ -43,6 +44,7 @@ __all__ = [
     "ScenarioReport",
     "run_cluster_scenario",
     "run_gateway_scenario",
+    "run_heal_scenario",
     "run_ingest_scenario",
     "run_join_scenario",
     "run_net_scenario",

@@ -34,6 +34,13 @@ contract the repo promises:
   re-applied — answer probes bit-identically to an uninterrupted twin,
   with the post-compaction index *structurally* identical (equal pickle
   bytes) to a fresh index built from the same records.
+* :func:`run_heal_scenario` — the self-healing control plane: one replica
+  hard-killed and another silently bit-rotted under Zipf-skewed load; the
+  failure detector must escalate the kill to a rebuild, the anti-entropy
+  scrubber must quarantine the rot before it serves, both replicas must
+  come back through verified (bit-identical) readmission with no operator
+  action, and every answer along the way must equal the single-node
+  index's.
 * :func:`run_net_scenario` — the TCP front door: a live
   :class:`~repro.net.server.GatewayServer` is hit with seeded socket
   faults (torn frames, half-sent-then-silent headers, peers that hang up
@@ -995,6 +1002,155 @@ def run_net_scenario(
     )
 
 
+def run_heal_scenario(
+    seed: int,
+    theta: float = 0.6,
+    func: SimilarityFunction = SimilarityFunction.JACCARD,
+    n_records: int = 100,
+    n_shards: int = 3,
+    n_waves: int = 12,
+    queries_per_wave: int = 3,
+    tracer: Optional[Tracer] = None,
+) -> ScenarioReport:
+    """Kill one replica and silently rot another mid-load; the control
+    plane must heal both with zero wrong answers and no operator action.
+
+    The cluster runs with *independent* replicas (each its own deep copy,
+    so corruption is per-replica, as on real machines) and an attached
+    :class:`~repro.cluster.health.ControlPlane`.  Traffic is a seeded
+    Zipf-skewed replay: each wave draws ``queries_per_wave`` records with
+    probability mass cubed toward the head.  Every wave, the plane ticks
+    *before* the wave's probes (heartbeats beat traffic — the real-world
+    analogue is a detector period shorter than the time between repeat
+    queries).
+
+    Timeline (all waves/targets from the seed):
+
+    * wave 3 — replica 0 of the shard the head query routes to is
+      hard-killed (:meth:`~repro.chaos.schedule.FaultInjector.kill_replica`);
+      the detector must escalate suspect → dead and the repair path must
+      rebuild it from its healthy peer, readmitting only after the
+      bit-identical verification.
+    * wave 6 — a replica of a *different* shard gets one fragment's
+      postings silently wiped
+      (:meth:`~repro.chaos.schedule.FaultInjector.corrupt_replica`); no
+      probe can notice, only the scrubber's digest sweep can, and it must
+      quarantine the replica before the wave's probes reach it.
+
+    Every served answer (during failover, rebuild and after) is compared
+    bit-for-bit against the single-node index.  The run matches iff there
+    were zero mismatches, the cluster ends at full replication with the
+    plane reporting all-healthy, at least two rebuilds happened (kill +
+    rot), and at least one quarantine was issued.  The health event log
+    and fault log ride in ``detail`` keyed by tick number, never wall
+    time — two runs with one seed must produce identical logs
+    (``tests/test_chaos.py`` diffs them).
+    """
+    from repro.cluster.health import ControlPlane, HealthConfig
+
+    func = SimilarityFunction(func)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    schedule = FaultSchedule(seed, ChaosConfig())
+    records = make_corpus("wiki", n_records, seed=seed % 983)
+    index = SegmentIndex.build(records, n_vertical=12)
+    clock = ChaosClock()
+    injector = FaultInjector(schedule, tracer, clock)
+    breaker = BreakerConfig(failure_threshold=2, reset_timeout=1.0)
+    router = build_cluster(
+        index,
+        n_shards=n_shards,
+        replication=2,
+        tracer=tracer,
+        retry=RetryPolicy(max_retries=1, base_delay=0.01, seed=seed),
+        breaker=breaker,
+        clock=clock,
+        sleep=clock.sleep,
+        independent_replicas=True,
+    )
+    plane = ControlPlane(
+        router,
+        HealthConfig(miss_budget=2, scrub_interval=1, verify_probes=3),
+        tracer=tracer,
+    )
+    mark = tracer.mark()
+
+    # Zipf-skewed seeded replay: cube the unit draw so most probes hit
+    # the head of the corpus (the hot keys a serving cluster really sees).
+    def zipf_record(wave: int, slot: int):
+        unit = schedule._unit("zipf", wave, slot)
+        return records[int(unit ** 3 * len(records)) % len(records)]
+
+    # Fault targets: the kill victim is a shard the head query provably
+    # routes to (so failover is actually exercised); the rot victim is a
+    # replica of a *different* shard, so the two repairs don't mask each
+    # other.
+    head_tokens = zipf_record(0, 0).tokens
+    head_targets = router.target_fragments(
+        router.encode_query(head_tokens), theta, func
+    )
+    kill_shard = router.plan.shard_of(head_targets[0]) if head_targets else 0
+    rot_shard = (kill_shard + 1) % n_shards
+    kill_wave, rot_wave = 3, 6
+
+    mismatches = 0
+    probes = 0
+    for wave in range(n_waves):
+        if wave == kill_wave:
+            injector.kill_replica(router.replica(kill_shard, 0))
+        if wave == rot_wave:
+            injector.corrupt_replica(router.replica(rot_shard, 1))
+        plane.tick()
+        clock.advance(0.25)
+        for slot in range(queries_per_wave):
+            record = zipf_record(wave, slot)
+            probes += 1
+            if router.search(record.tokens, theta, func=func) != index.probe(
+                record.tokens, theta, func
+            ):
+                mismatches += 1
+
+    # Drain: keep ticking (time advancing) until the plane reports full
+    # replication again — bounded, so a repair bug fails the scenario
+    # instead of hanging it.
+    extra_ticks = 0
+    while not plane.all_healthy() and extra_ticks < 10:
+        clock.advance(0.5)
+        plane.tick()
+        extra_ticks += 1
+
+    counters = router.metrics.group("cluster.health")
+    detail: Dict[str, Any] = {
+        "kill_victim": f"shard{kill_shard}/r0",
+        "rot_victim": f"shard{rot_shard}/r1",
+        "probes": probes,
+        "mismatches": mismatches,
+        "ticks": plane.ticks,
+        "extra_ticks": extra_ticks,
+        "full_replication": plane.all_healthy(),
+        "replica_states": plane.replica_states(),
+        "rebuilds": counters.get("rebuilds", 0),
+        "quarantines": counters.get("quarantines", 0),
+        # The replay-diff payload: tick-keyed, wall-time-free logs.
+        "health_events": [list(event) for event in plane.event_log()],
+        "fault_log": [event.as_dict() for event in injector.events],
+    }
+    matched = (
+        mismatches == 0
+        and plane.all_healthy()
+        and counters.get("rebuilds", 0) >= 2
+        and counters.get("quarantines", 0) >= 1
+    )
+    return ScenarioReport(
+        scenario="heal",
+        seed=seed,
+        matched=matched,
+        error=None,
+        faults=injector.report(),
+        recovery=_recovery_from_spans(tracer, mark),
+        detail=detail,
+    )
+
+
 SCENARIOS = {
     "join": run_join_scenario,
     "cluster": run_cluster_scenario,
@@ -1002,6 +1158,7 @@ SCENARIOS = {
     "ingest": run_ingest_scenario,
     "gateway": run_gateway_scenario,
     "net": run_net_scenario,
+    "heal": run_heal_scenario,
 }
 
 

@@ -320,6 +320,51 @@ class FaultInjector:
 
         node.fault_hook = hook
 
+    def kill_replica(self, node) -> None:
+        """Hard-kill a replica: dead until something rebuilds it.
+
+        Unlike :meth:`crash_replica` this is not a flap — ``alive`` goes
+        False and stays False, so liveness pings fail and the only way
+        back into rotation is the control plane's rebuild + verified
+        readmission (or an operator's ``restore_replica``).
+        """
+        node.fail()
+        self.record("replica-kill", node.name,
+                    "hard kill; alive=False until rebuilt")
+
+    def corrupt_replica(self, node, fragment: Optional[int] = None) -> int:
+        """Silently bit-rot one owned fragment of a replica's slice.
+
+        The fragment's posting runs are wiped wholesale (record metadata
+        left intact), so the replica keeps *answering* probes — just
+        wrongly, missing every candidate that fragment would have
+        produced.  Nothing on the serving path can notice: no exception,
+        no breaker trip.  Only the anti-entropy scrubber's cross-replica
+        digest comparison catches it.  The victim fragment is a seeded
+        pick among the replica's non-empty owned fragments unless given
+        explicitly; returns the fragment id.
+        """
+        from repro.service.columnar import FragmentPostings
+
+        slice_ = node.slice
+        if fragment is None:
+            candidates = sorted(
+                v for v in slice_.owned_fragments
+                if len(slice_._postings[v])
+            )
+            if not candidates:
+                raise ConfigError(
+                    f"{node.name} has no non-empty fragment to corrupt"
+                )
+            draw = stable_hash((self.schedule.seed, "replica-rot", node.name))
+            fragment = candidates[draw % len(candidates)]
+        slice_._postings[fragment].seal()
+        slice_._postings[fragment] = FragmentPostings()
+        slice_._legacy_cache = None
+        self.record("replica-rot", node.name,
+                    f"fragment {fragment} postings silently wiped")
+        return fragment
+
     def spike_replica(self, node) -> None:
         """Subject a replica's probes to seeded latency spikes.
 

@@ -401,6 +401,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ingest", action="store_true",
                        help="attach a streaming ingest tier so ingest-append "
                             "frames land (otherwise appends fail typed)")
+    serve.add_argument("--heal", action="store_true",
+                       help="attach the self-healing control plane: failure "
+                            "detection, anti-entropy scrubbing and automatic "
+                            "replica rebuild; repair events are logged as "
+                            "one-line typed messages")
+    serve.add_argument("--heal-interval", type=float, default=1.0,
+                       help="seconds between control-plane ticks when --heal "
+                            "is on (default 1.0)")
     serve.add_argument("--trace", metavar="PATH",
                        help="on exit, write the server's phase=\"net\" spans "
                             "(one per connection and request) as JSONL plus "
@@ -440,7 +448,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "same faults on every run")
     chaos.add_argument("--scenario", choices=("join", "search", "cluster",
                                               "ingest", "gateway", "net",
-                                              "all"),
+                                              "heal", "all"),
                        default="all",
                        help="which layer to drill (default: all)")
     chaos.add_argument("--theta", type=float, default=0.7)
@@ -1224,6 +1232,15 @@ def _cmd_serve(args) -> int:
         router.attach_ingest(StreamingIndex.attach(
             InMemoryDFS(), "serve-ingest", router.order, router.partitioner
         ))
+    plane = None
+    if args.heal:
+        from repro.cluster import ControlPlane, RepairManager
+
+        plane = ControlPlane(
+            router,
+            repair=RepairManager(router, snapshot_dir=args.cluster_dir),
+            tracer=tracer,
+        )
     gateway = SimilarityGateway(
         router,
         GatewayConfig(
@@ -1245,6 +1262,18 @@ def _cmd_serve(args) -> int:
         tracer=tracer,
     )
 
+    async def heal_loop() -> None:
+        # Tick the control plane between request rounds, logging every
+        # decision (suspect/dead/quarantine/rebuild/readmit) as a
+        # one-line typed message — the operator-visible repair journal.
+        logged = 0
+        while True:
+            await asyncio.sleep(args.heal_interval)
+            plane.tick()
+            for event in plane.events[logged:]:
+                print(event.line(), file=sys.stderr, flush=True)
+            logged = len(plane.events)
+
     async def run() -> None:
         host, port = await server.start()
         loop = asyncio.get_running_loop()
@@ -1260,7 +1289,14 @@ def _cmd_serve(args) -> int:
             f"(cluster {args.cluster_dir}, pid {os.getpid()})",
             file=sys.stderr, flush=True,
         )
-        await server.wait_drained()
+        healer = (
+            asyncio.ensure_future(heal_loop()) if plane is not None else None
+        )
+        try:
+            await server.wait_drained()
+        finally:
+            if healer is not None:
+                healer.cancel()
 
     asyncio.run(run())
     if args.trace:

@@ -17,7 +17,11 @@ Components:
   with typed load-shedding, replica failover and skew-aware
   :meth:`~repro.cluster.router.ClusterRouter.rebalance`;
 * :mod:`repro.cluster.build` — build/save/load of whole clusters
-  (per-shard digest-checked snapshots + a JSON manifest).
+  (per-shard digest-checked snapshots + a JSON manifest);
+* :mod:`repro.cluster.health` / :mod:`repro.cluster.repair` — the
+  self-healing control plane: tick-driven failure detection,
+  anti-entropy digest scrubbing, and automatic replica rebuild with
+  verified readmission.
 
 Example:
     >>> from repro.data import make_corpus
@@ -38,8 +42,15 @@ from repro.cluster.failover import (
     HedgeConfig,
     RetryPolicy,
 )
+from repro.cluster.health import (
+    ControlPlane,
+    HealthConfig,
+    HealthEvent,
+    ReplicaState,
+)
 from repro.cluster.node import FragmentPayload, IngestNode, ShardNode, ShardSlice
 from repro.cluster.plan import ShardPlan, plan_shards
+from repro.cluster.repair import RepairManager
 from repro.cluster.router import ClusterRouter, Migration, PartialSearchResult
 
 __all__ = [
@@ -47,11 +58,16 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "ClusterRouter",
+    "ControlPlane",
     "FragmentPayload",
+    "HealthConfig",
+    "HealthEvent",
     "HedgeConfig",
     "IngestNode",
     "Migration",
     "PartialSearchResult",
+    "RepairManager",
+    "ReplicaState",
     "RetryPolicy",
     "ShardNode",
     "ShardPlan",

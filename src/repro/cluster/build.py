@@ -61,12 +61,19 @@ def build_cluster(
     hedge: Optional[HedgeConfig] = None,
     clock=time.monotonic,
     sleep=time.sleep,
+    independent_replicas: bool = False,
 ) -> ClusterRouter:
     """Shard an index (or a corpus) into a routed, replicated cluster.
 
     Passing a prebuilt :class:`SegmentIndex` guarantees the cluster
     answers bit-identically to a single-node service over that index —
     same ordering, same pivots, same fragments, just placed.
+
+    ``independent_replicas=True`` gives every replica beyond the first
+    its own deep copy of the shard slice (``ShardSlice.clone``) instead
+    of sharing one object — the faithful model for failure drills, where
+    corrupting one replica must not corrupt its peers and the scrubber's
+    cross-replica digest comparison is meaningful.
     """
     if replication < 1:
         raise ConfigError("replication must be >= 1")
@@ -81,9 +88,11 @@ def build_cluster(
     groups = []
     for shard in range(plan.n_shards):
         slice_ = ShardSlice.carve(index, plan.fragments_of(shard))
-        groups.append(
-            [ShardNode(shard, r, slice_) for r in range(replication)]
-        )
+        nodes = [ShardNode(shard, 0, slice_)]
+        for r in range(1, replication):
+            replica_slice = slice_.clone() if independent_replicas else slice_
+            nodes.append(ShardNode(shard, r, replica_slice))
+        groups.append(nodes)
     return ClusterRouter(
         order=index.order,
         partitioner=index.partitioner,
@@ -122,12 +131,17 @@ def save_cluster(router: ClusterRouter, directory: Union[str, Path]) -> int:
             "file": filename,
             "fragments": sorted(slice_.owned_fragments),
             "records": len(slice_),
+            # Per-fragment content digests: what the anti-entropy
+            # scrubber and a snapshot-based rebuild check against.
+            "digests": {str(v): d
+                        for v, d in slice_.content_digests().items()},
         })
     manifest = {
         "format": MANIFEST_FORMAT,
         "version": MANIFEST_VERSION,
         "replication": router.replication,
         "plan": router.plan.as_dict(),
+        "index_epoch": router.index_epoch,
         "shards": shards,
     }
     manifest_path = directory / MANIFEST_NAME
@@ -151,11 +165,14 @@ def load_cluster(
     hedge: Optional[HedgeConfig] = None,
     clock=time.monotonic,
     sleep=time.sleep,
+    independent_replicas: bool = False,
 ) -> ClusterRouter:
     """Restore a cluster directory written by :func:`save_cluster`.
 
     ``replication`` overrides the saved factor (e.g. restore a snapshot
     set at higher replication for a failover drill).
+    ``independent_replicas`` deep-copies the loaded slice for every
+    replica beyond the first — see :func:`build_cluster`.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -199,9 +216,11 @@ def load_cluster(
             )
         order = order or slice_.order
         partitioner = partitioner or slice_.partitioner
-        groups.append(
-            [ShardNode(entry["shard"], r, slice_) for r in range(replication)]
-        )
+        nodes = [ShardNode(entry["shard"], 0, slice_)]
+        for r in range(1, replication):
+            replica_slice = slice_.clone() if independent_replicas else slice_
+            nodes.append(ShardNode(entry["shard"], r, replica_slice))
+        groups.append(nodes)
     if len(groups) != plan.n_shards:
         raise ClusterError(
             f"manifest lists {len(groups)} shard snapshots, plan expects "

@@ -216,6 +216,26 @@ class CircuitBreaker:
                 self.transitions["closed"] += 1
             return recovered
 
+    def reset(self) -> bool:
+        """Force-close the breaker after *verified* readmission.
+
+        The half-open trial exists because the router cannot know whether
+        a tripped replica healed; the control plane's rebuild path *does*
+        know — it just compared the replica's answers bit-for-bit against
+        a healthy peer — so a readmitted replica rejoins rotation
+        immediately instead of waiting out the reset timeout.  Returns
+        True if the breaker was not already closed (counted as a
+        ``closed`` transition).
+        """
+        with self._lock:
+            recovered = self._state is not BreakerState.CLOSED
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+            if recovered:
+                self.transitions["closed"] += 1
+            return recovered
+
     def record_failure(self) -> bool:
         """Note a failed probe; returns True if this *opened* the breaker."""
         with self._lock:

@@ -1,0 +1,486 @@
+"""Self-healing control plane: detect, scrub, repair — deterministically.
+
+The cluster built in PRs 4–9 routes *around* damage: circuit breakers
+skip crashed replicas and hedged scatter hides stragglers, but a dead
+replica stays dead until an operator calls ``restore()``, and a replica
+whose postings were silently bit-rotted keeps serving wrong answers
+forever (the breaker never trips — the probes *succeed*, they are just
+wrong).  :class:`ControlPlane` closes both gaps with three loops, all
+driven by an explicit :meth:`~ControlPlane.tick` so a chaos run can
+interleave them deterministically with traffic:
+
+1. **Failure detection** — every tick pings every replica and reads its
+   breaker.  A replica that misses (ping fails or breaker OPEN) becomes
+   ``SUSPECT``; after ``miss_budget`` consecutive misses it is declared
+   ``DEAD`` and queued for repair.  A suspect that answers again before
+   the budget runs out recovers silently (flapping is not death).
+
+2. **Anti-entropy scrubbing** — every ``scrub_interval`` ticks, each
+   serving replica's per-fragment content digests (sha256 over canonical
+   posting content, see
+   :meth:`repro.service.index.SegmentIndex.fragment_digest`) are
+   compared against the shard's *baseline* — the majority digest vote
+   captured when the plane attached (refreshed when the plan changes,
+   e.g. after a rebalance migration).  A divergent replica is fenced on
+   the spot (``QUARANTINED`` — it stops serving before its next probe)
+   and queued for repair.  This is what catches chaos ``corrupt()``:
+   the serving path cannot tell a wrong answer from a right one, the
+   scrubber can.
+
+3. **Repair** — queued replicas are handed to the
+   :class:`~repro.cluster.repair.RepairManager`: re-hydrate from a
+   healthy peer clone or the digest-checked snapshot, catch up past the
+   snapshot's epoch, then *verified readmission*
+   (:meth:`~repro.cluster.router.ClusterRouter.readmit_replica`) — the
+   replica rejoins rotation only after answering bit-identically to a
+   healthy peer, which also force-closes its breaker.
+
+Everything observable is deterministic: events carry the tick number
+(never wall time), repair order is queue order, digest comparisons and
+verification probes are seeded — two runs of the same chaos schedule
+produce byte-identical event logs (``tests/test_chaos.py`` diffs them).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError, ConfigError
+from repro.observability.tracer import NOOP_TRACER, Tracer
+
+from repro.cluster.failover import BreakerState
+from repro.cluster.repair import RepairManager
+from repro.cluster.router import ClusterRouter
+
+HEALTH_GROUP = "cluster.health"
+
+
+class ReplicaState(str, enum.Enum):
+    """What the control plane currently believes about one replica."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    QUARANTINED = "quarantined"
+    REBUILDING = "rebuilding"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Shape of the control plane's three loops.
+
+    ``miss_budget`` — consecutive missed heartbeats before a suspect is
+    declared dead.  ``scrub_interval`` — ticks between anti-entropy
+    digest sweeps.  ``verify_probes`` — seeded probes per readmission
+    verification.  ``auto_repair=False`` detects and quarantines but
+    leaves rebuilding to the operator.  ``max_repairs_per_tick`` bounds
+    repair work per tick so detection never starves behind rebuilds.
+    ``max_rebuild_attempts`` caps retries before a replica is abandoned
+    (state stays terminal, event ``rebuild-abandoned``).
+    """
+
+    miss_budget: int = 3
+    scrub_interval: int = 4
+    verify_probes: int = 4
+    auto_repair: bool = True
+    max_repairs_per_tick: int = 2
+    max_rebuild_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.miss_budget < 1:
+            raise ConfigError("miss_budget must be >= 1")
+        if self.scrub_interval < 1:
+            raise ConfigError("scrub_interval must be >= 1")
+        if self.verify_probes < 1:
+            raise ConfigError("verify_probes must be >= 1")
+        if self.max_repairs_per_tick < 1:
+            raise ConfigError("max_repairs_per_tick must be >= 1")
+        if self.max_rebuild_attempts < 1:
+            raise ConfigError("max_rebuild_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One control-plane decision, replay-comparable.
+
+    Carries the tick number, never a wall-clock time, so two seeded runs
+    of the same fault schedule produce identical event logs.
+    """
+
+    tick: int
+    kind: str
+    target: str
+    detail: str = ""
+
+    def line(self) -> str:
+        """The one-line typed form ``repro serve`` logs."""
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"health: [{self.tick}] {self.kind} {self.target}{suffix}"
+
+
+class ControlPlane:
+    """The cluster's health brain: detector + scrubber + repair driver."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        config: Optional[HealthConfig] = None,
+        repair: Optional[RepairManager] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if router.control is not None:
+            raise ClusterError("a control plane is already attached")
+        self.router = router
+        self.config = config if config is not None else HealthConfig()
+        self.repair = repair if repair is not None else RepairManager(router)
+        self.tracer = tracer if tracer is not None else router.tracer
+        if self.tracer is None:  # pragma: no cover - defensive
+            self.tracer = NOOP_TRACER
+        self.metrics = router.metrics
+        self._tick = 0
+        self.scrub_epoch = 0
+        self._states: List[List[ReplicaState]] = [
+            [ReplicaState.HEALTHY] * router.replication
+            for _ in range(router.n_shards)
+        ]
+        self._misses: List[List[int]] = [
+            [0] * router.replication for _ in range(router.n_shards)
+        ]
+        self._attempts: Dict[Tuple, int] = {}
+        self._ingest_state = ReplicaState.HEALTHY
+        self._ingest_misses = 0
+        #: repair queue: ``(shard, replica)`` or ``("ingest",)``, FIFO.
+        self._queue: List[Tuple] = []
+        self.events: List[HealthEvent] = []
+        #: shard → fragment → majority content digest at attach time.
+        self._baseline: List[Dict[int, str]] = []
+        self._plan_print: Tuple = ()
+        self._capture_baseline()
+        router.control = self
+
+    # -- baselines ------------------------------------------------------
+    def _plan_fingerprint(self) -> Tuple:
+        return tuple(sorted(self.router.plan.assignment.items()))
+
+    def _capture_baseline(self) -> None:
+        """Majority digest vote per fragment, over serving replicas.
+
+        Ties break deterministically toward the digest held by the
+        lowest-numbered replica — replica 0 is the copy snapshots are
+        written from, so at replication 2 a plane attached *after* one
+        replica rotted still votes the intact content in.  With replicas
+        sharing one slice the vote is unanimous by construction.
+        """
+        self._baseline = []
+        for shard in range(self.router.n_shards):
+            #: fragment → digest → [vote count, first replica seen on].
+            votes: Dict[int, Dict[str, List[int]]] = {}
+            for rep in range(self.router.replication):
+                node = self.router.replica(shard, rep)
+                if not node.ping():
+                    continue
+                for fragment, digest in node.slice.content_digests().items():
+                    tally = votes.setdefault(fragment, {})
+                    entry = tally.setdefault(digest, [0, rep])
+                    entry[0] += 1
+            self._baseline.append({
+                fragment: max(
+                    tally.items(),
+                    key=lambda kv: (kv[1][0], -kv[1][1]),
+                )[0]
+                for fragment, tally in votes.items()
+            })
+        self._plan_print = self._plan_fingerprint()
+
+    def baseline(self, shard: int) -> Dict[int, str]:
+        """The shard's reference digests (what a rebuild must match)."""
+        return dict(self._baseline[shard])
+
+    # -- the tick -------------------------------------------------------
+    def tick(self) -> List[HealthEvent]:
+        """One control-plane round: detect → scrub → repair.
+
+        Returns the events this tick emitted (also appended to
+        :attr:`events`).  Emits one ``phase="health"`` span per tick so a
+        trace shows when the plane looked and what it decided.
+        """
+        self._tick += 1
+        before = len(self.events)
+        start = time.perf_counter()
+        self._detect()
+        if self._tick % self.config.scrub_interval == 0:
+            self._scrub()
+        if self.config.auto_repair:
+            self._drain_repairs()
+        emitted = self.events[before:]
+        self.tracer.add(
+            "health-tick", "health",
+            start=start, duration=time.perf_counter() - start,
+            tick=self._tick, events=len(emitted),
+            pending_repairs=len(self._queue),
+        )
+        self.metrics.increment(HEALTH_GROUP, "ticks")
+        return emitted
+
+    # -- loop 1: failure detection --------------------------------------
+    def _detect(self) -> None:
+        cfg = self.config
+        for shard in range(self.router.n_shards):
+            for rep in range(self.router.replication):
+                state = self._states[shard][rep]
+                if state in (ReplicaState.DEAD, ReplicaState.QUARANTINED,
+                             ReplicaState.REBUILDING):
+                    continue
+                node = self.router.replica(shard, rep)
+                breaker_open = (
+                    self.router.breaker(shard, rep).state
+                    is BreakerState.OPEN
+                )
+                if node.ping() and not breaker_open:
+                    if state is ReplicaState.SUSPECT:
+                        self._event("recovered", node.name,
+                                    f"after {self._misses[shard][rep]} misses")
+                        self.metrics.increment(HEALTH_GROUP, "recoveries")
+                    self._states[shard][rep] = ReplicaState.HEALTHY
+                    self._misses[shard][rep] = 0
+                    continue
+                self._misses[shard][rep] += 1
+                misses = self._misses[shard][rep]
+                why = "breaker open" if breaker_open else "ping failed"
+                if state is ReplicaState.HEALTHY:
+                    self._states[shard][rep] = ReplicaState.SUSPECT
+                    self._event("suspect", node.name,
+                                f"{why}; miss 1/{cfg.miss_budget}")
+                    self.metrics.increment(HEALTH_GROUP, "suspects")
+                if misses >= cfg.miss_budget and (
+                        self._states[shard][rep] is ReplicaState.SUSPECT):
+                    self._states[shard][rep] = ReplicaState.DEAD
+                    self._event("dead", node.name,
+                                f"{why}; missed {misses} heartbeats")
+                    self.metrics.increment(HEALTH_GROUP, "deaths")
+                    self._enqueue((shard, rep))
+        self._detect_ingest()
+
+    def _detect_ingest(self) -> None:
+        ingest = self.router.ingest
+        if ingest is None:
+            return
+        if self._ingest_state in (ReplicaState.DEAD,
+                                  ReplicaState.REBUILDING):
+            return
+        if ingest.ping():
+            if self._ingest_state is ReplicaState.SUSPECT:
+                self._event("recovered", ingest.name,
+                            f"after {self._ingest_misses} misses")
+                self.metrics.increment(HEALTH_GROUP, "recoveries")
+            self._ingest_state = ReplicaState.HEALTHY
+            self._ingest_misses = 0
+            return
+        self._ingest_misses += 1
+        if self._ingest_state is ReplicaState.HEALTHY:
+            self._ingest_state = ReplicaState.SUSPECT
+            self._event("suspect", ingest.name,
+                        f"ping failed; miss 1/{self.config.miss_budget}")
+            self.metrics.increment(HEALTH_GROUP, "suspects")
+        if self._ingest_misses >= self.config.miss_budget and (
+                self._ingest_state is ReplicaState.SUSPECT):
+            self._ingest_state = ReplicaState.DEAD
+            self._event("dead", ingest.name,
+                        f"missed {self._ingest_misses} heartbeats")
+            self.metrics.increment(HEALTH_GROUP, "deaths")
+            self._enqueue(("ingest",))
+
+    # -- loop 2: anti-entropy scrubbing ---------------------------------
+    def _scrub(self) -> None:
+        """Digest every serving replica against the shard baseline."""
+        if self._plan_fingerprint() != self._plan_print:
+            # The plan moved (rebalance migration): the old baseline
+            # describes ownership that no longer exists.  Re-vote instead
+            # of quarantining every replica of the migrated fragments.
+            self._capture_baseline()
+            self._event("baseline-refresh", "plan",
+                        "placement changed; digests re-voted")
+            self.metrics.increment(HEALTH_GROUP, "baseline_refreshes")
+        self.scrub_epoch += 1
+        start = time.perf_counter()
+        checked = quarantined = 0
+        for shard in range(self.router.n_shards):
+            baseline = self._baseline[shard]
+            for rep in range(self.router.replication):
+                if self._states[shard][rep] is not ReplicaState.HEALTHY:
+                    continue
+                node = self.router.replica(shard, rep)
+                if not node.ping():
+                    continue
+                checked += 1
+                digests = node.slice.content_digests()
+                if digests == baseline:
+                    continue
+                bad = sorted(
+                    v for v in set(digests) | set(baseline)
+                    if digests.get(v) != baseline.get(v)
+                )
+                node.fence()
+                self._states[shard][rep] = ReplicaState.QUARANTINED
+                quarantined += 1
+                self._event("quarantine", node.name,
+                            f"fragment digests diverge: {bad}")
+                self.metrics.increment(HEALTH_GROUP, "quarantines")
+                self.tracer.add(
+                    f"quarantine:{node.name}", "recovery",
+                    start=time.perf_counter(), duration=0.0,
+                    action="quarantine", shard=shard, replica=rep,
+                    fragments=str(bad),
+                )
+                self._enqueue((shard, rep))
+        self.tracer.add(
+            "scrub", "health",
+            start=start, duration=time.perf_counter() - start,
+            epoch=self.scrub_epoch, checked=checked,
+            quarantined=quarantined,
+        )
+        self.metrics.increment(HEALTH_GROUP, "scrubs")
+
+    # -- loop 3: repair -------------------------------------------------
+    def _enqueue(self, item: Tuple) -> None:
+        if item not in self._queue:
+            self._queue.append(item)
+
+    def _drain_repairs(self) -> None:
+        budget = self.config.max_repairs_per_tick
+        while self._queue and budget > 0:
+            budget -= 1
+            item = self._queue.pop(0)
+            if item == ("ingest",):
+                self._repair_ingest()
+            else:
+                self._repair_replica(*item)
+
+    def _repair_replica(self, shard: int, rep: int) -> None:
+        node = self.router.replica(shard, rep)
+        prior = self._states[shard][rep]
+        self._states[shard][rep] = ReplicaState.REBUILDING
+        self._event("rebuild-start", node.name, f"was {prior.value}")
+        start = time.perf_counter()
+        try:
+            detail = self.repair.rebuild_replica(
+                shard, rep,
+                baseline=self._baseline[shard],
+                probes=self.config.verify_probes,
+            )
+        except ClusterError as exc:
+            self._rebuild_failed((shard, rep), prior, node.name, str(exc))
+            return
+        self._states[shard][rep] = ReplicaState.HEALTHY
+        self._misses[shard][rep] = 0
+        self._attempts.pop((shard, rep), None)
+        self._event("readmit", node.name, detail)
+        self.metrics.increment(HEALTH_GROUP, "rebuilds")
+        self.tracer.add(
+            f"rebuild:{node.name}", "recovery",
+            start=start, duration=time.perf_counter() - start,
+            action="replica-rebuild", shard=shard, replica=rep,
+            detail=detail,
+        )
+
+    def _repair_ingest(self) -> None:
+        ingest = self.router.ingest
+        if ingest is None:  # pragma: no cover - defensive
+            return
+        prior = self._ingest_state
+        self._ingest_state = ReplicaState.REBUILDING
+        self._event("rebuild-start", ingest.name, f"was {prior.value}")
+        start = time.perf_counter()
+        try:
+            detail = self.repair.rebuild_ingest()
+        except ClusterError as exc:
+            self._rebuild_failed(("ingest",), prior, ingest.name, str(exc))
+            return
+        self._ingest_state = ReplicaState.HEALTHY
+        self._ingest_misses = 0
+        self._attempts.pop(("ingest",), None)
+        self._event("readmit", ingest.name, detail)
+        self.metrics.increment(HEALTH_GROUP, "rebuilds")
+        self.tracer.add(
+            f"rebuild:{ingest.name}", "recovery",
+            start=start, duration=time.perf_counter() - start,
+            action="ingest-rebuild", detail=detail,
+        )
+
+    def _rebuild_failed(self, item: Tuple, prior: ReplicaState,
+                        name: str, why: str) -> None:
+        attempts = self._attempts.get(item, 0) + 1
+        self._attempts[item] = attempts
+        self.metrics.increment(HEALTH_GROUP, "rebuild_failures")
+        if item == ("ingest",):
+            self._ingest_state = prior
+        else:
+            self._states[item[0]][item[1]] = prior
+        if attempts < self.config.max_rebuild_attempts:
+            self._event("rebuild-failed", name,
+                        f"attempt {attempts}: {why}")
+            self._enqueue(item)
+        else:
+            self._event("rebuild-abandoned", name,
+                        f"after {attempts} attempts: {why}")
+            self.metrics.increment(HEALTH_GROUP, "rebuilds_abandoned")
+
+    # -- introspection --------------------------------------------------
+    def _event(self, kind: str, target: str, detail: str = "") -> None:
+        self.events.append(HealthEvent(self._tick, kind, target, detail))
+
+    @property
+    def ticks(self) -> int:
+        return self._tick
+
+    def replica_states(self) -> List[List[str]]:
+        """``result[shard][replica]`` is the plane's belief (string form)."""
+        return [[state.value for state in row] for row in self._states]
+
+    def ingest_state(self) -> Optional[str]:
+        if self.router.ingest is None:
+            return None
+        return self._ingest_state.value
+
+    def pending_repairs(self) -> List[Tuple]:
+        return list(self._queue)
+
+    def all_healthy(self) -> bool:
+        """Full replication restored: every replica serving and believed
+        healthy, nothing queued for repair."""
+        for shard in range(self.router.n_shards):
+            for rep in range(self.router.replication):
+                if self._states[shard][rep] is not ReplicaState.HEALTHY:
+                    return False
+                if not self.router.replica(shard, rep).ping():
+                    return False
+        if self.router.ingest is not None:
+            if self._ingest_state is not ReplicaState.HEALTHY:
+                return False
+            if not self.router.ingest.ping():
+                return False
+        return not self._queue
+
+    def event_log(self) -> List[Tuple[int, str, str, str]]:
+        """The full decision log as plain tuples — what replay runs diff."""
+        return [(e.tick, e.kind, e.target, e.detail) for e in self.events]
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe control-plane state for ``status()`` surfaces."""
+        summary: Dict[str, object] = {
+            "tick": self._tick,
+            "scrub_epoch": self.scrub_epoch,
+            "pending_repairs": [list(item) for item in self._queue],
+            "events": len(self.events),
+            "all_healthy": self.all_healthy(),
+            "health_counters": self.metrics.group(HEALTH_GROUP),
+        }
+        if self.router.ingest is not None:
+            summary["ingest_state"] = self._ingest_state.value
+        return summary

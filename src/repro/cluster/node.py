@@ -320,6 +320,29 @@ class ShardSlice(SegmentIndex):
             for query in queries
         ]
 
+    # -- replica independence ------------------------------------------
+    def clone(self) -> "ShardSlice":
+        """A deep, independent copy of this slice.
+
+        A pickle round-trip — the same bytes a per-shard snapshot would
+        restore — so nothing is shared with the source: corrupting (or
+        rebuilding) the clone cannot touch the original.  This is how
+        ``independent_replicas`` clusters give each replica its own
+        storage, and how the repair path re-hydrates a dead replica from
+        a healthy peer.
+        """
+        import pickle
+
+        return pickle.loads(pickle.dumps(self))
+
+    def content_digests(self) -> Dict[int, str]:
+        """Per-fragment content digests over *owned* fragments only —
+        what the anti-entropy scrubber compares across a shard's
+        replicas."""
+        return {
+            v: self.fragment_digest(v) for v in sorted(self._owned)
+        }
+
     # -- lifecycle guards ----------------------------------------------
     def apply_batch(self, new_records) -> int:
         raise ClusterError(
@@ -395,6 +418,11 @@ class ShardNode:
         self.replica_id = replica_id
         self.slice = slice_
         self.alive = True
+        #: fencing flag: a fenced replica refuses *all* service (pings
+        #: fail, probes raise) even while ``alive`` — the repair path's
+        #: guarantee that a mid-rebuild replica can never serve stale or
+        #: unverified answers.  Only verified readmission unfences.
+        self.fenced = False
         self.counters = Counters()
         #: optional chaos hook, called with this node at the top of every
         #: probe (after the liveness check, before any work).  It may raise
@@ -414,11 +442,30 @@ class ShardNode:
         self.alive = False
 
     def restore(self) -> None:
+        """Flip the liveness flag back.
+
+        Note this alone does *not* rejoin the router's rotation cleanly —
+        the replica's circuit breaker may still be open.  Use
+        :meth:`~repro.cluster.router.ClusterRouter.restore_replica` for
+        the verified-readmission path (restore → verify against a healthy
+        peer → close the breaker).
+        """
         self.alive = True
+
+    def fence(self) -> None:
+        """Quarantine: stop serving until verified readmission unfences."""
+        self.fenced = True
+
+    def unfence(self) -> None:
+        self.fenced = False
 
     def ping(self) -> bool:
         """Health check: can this replica serve a probe right now?"""
-        return self.alive
+        return self.alive and not self.fenced
+
+    def adopt_slice(self, slice_: ShardSlice) -> None:
+        """Swap in a rebuilt slice (the repair path's re-hydration step)."""
+        self.slice = slice_
 
     # -- serving -------------------------------------------------------
     def probe(
@@ -430,8 +477,11 @@ class ShardNode:
         tracer: Tracer = NOOP_TRACER,
     ) -> List[SearchHit]:
         """Serve one scatter leg; raises :class:`ShardDownError` if failed."""
-        if not self.alive:
-            raise ShardDownError(f"{self.name} is down")
+        # Serving checks the raw flags, not ping(): a replica whose health
+        # check lies (or is stubbed in tests) must still crash the probe so
+        # the router fails over instead of serving from a dead copy.
+        if not self.alive or self.fenced:
+            raise ShardDownError(f"{self.name} is {self._down_state()}")
         if self.fault_hook is not None:
             self.fault_hook(self)
         self.counters.increment("cluster.node", "probes")
@@ -451,8 +501,8 @@ class ShardNode:
         path, claim rule preserved); raises :class:`ShardDownError` if
         failed.  The fault hook fires once per batch — a crashed replica
         loses the whole leg, exactly like a crashed single probe."""
-        if not self.alive:
-            raise ShardDownError(f"{self.name} is down")
+        if not self.alive or self.fenced:
+            raise ShardDownError(f"{self.name} is {self._down_state()}")
         if self.fault_hook is not None:
             self.fault_hook(self)
         self.counters.increment("cluster.node", "probes", len(queries))
@@ -461,15 +511,20 @@ class ShardNode:
         )
 
     def tokens_of(self, rid: int) -> Tuple[str, ...]:
-        if not self.alive:
-            raise ShardDownError(f"{self.name} is down")
+        if not self.alive or self.fenced:
+            raise ShardDownError(f"{self.name} is {self._down_state()}")
         return self.slice.tokens_of(rid)
+
+    def _down_state(self) -> str:
+        return "fenced" if (self.alive and self.fenced) else "down"
 
     def __contains__(self, rid: int) -> bool:
         return rid in self.slice
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "up" if self.alive else "DOWN"
+        state = "up" if self.ping() else (
+            "FENCED" if self.alive else "DOWN"
+        )
         return (
             f"ShardNode({self.name}, {state}, "
             f"fragments={sorted(self.slice.owned_fragments)})"
@@ -494,6 +549,8 @@ class IngestNode:
     def __init__(self, streaming) -> None:
         self.streaming = streaming
         self.alive = True
+        #: same contract as :attr:`ShardNode.fenced`.
+        self.fenced = False
         self.counters = Counters()
         #: same contract as :attr:`ShardNode.fault_hook`.
         self.fault_hook = None
@@ -508,8 +565,14 @@ class IngestNode:
     def restore(self) -> None:
         self.alive = True
 
+    def fence(self) -> None:
+        self.fenced = True
+
+    def unfence(self) -> None:
+        self.fenced = False
+
     def ping(self) -> bool:
-        return self.alive
+        return self.alive and not self.fenced
 
     def probe(
         self,
@@ -519,7 +582,7 @@ class IngestNode:
         filters: Optional[FilterConfig] = None,
         tracer: Tracer = NOOP_TRACER,
     ) -> List[SearchHit]:
-        if not self.alive:
+        if not self.alive or self.fenced:
             raise ShardDownError(f"{self.name} is down")
         if self.fault_hook is not None:
             self.fault_hook(self)
@@ -529,7 +592,7 @@ class IngestNode:
         )
 
     def tokens_of(self, rid: int) -> Tuple[str, ...]:
-        if not self.alive:
+        if not self.alive or self.fenced:
             raise ShardDownError(f"{self.name} is down")
         return self.streaming.tokens_of(rid)
 

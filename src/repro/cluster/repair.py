@@ -1,0 +1,231 @@
+"""Replica re-hydration: peer clone or snapshot, then verified readmission.
+
+The :class:`~repro.cluster.health.ControlPlane` decides *that* a replica
+needs rebuilding; :class:`RepairManager` is the *how*.  The contract, in
+order:
+
+1. **Fence first.**  The replica is fenced before anything is touched,
+   so a half-rebuilt slice can never answer a probe — fencing fails
+   ``ping()`` and makes every probe raise, and only verified readmission
+   (step 4) unfences.
+
+2. **Pick a source.**  Preferred: a healthy peer of the same shard whose
+   per-fragment content digests match the shard baseline — its slice is
+   deep-cloned (:meth:`~repro.cluster.node.ShardSlice.clone`, the same
+   bytes a snapshot restore would produce).  Fallback: the shard's
+   digest-checked snapshot from a :func:`~repro.cluster.build.save_cluster`
+   directory (``load_index`` fails closed on corruption; the manifest's
+   recorded digests are checked against the baseline too).  No source →
+   a typed :class:`~repro.errors.ClusterError`, replica stays fenced.
+
+3. **Catch up under a pin.**  An ingest-tier rebuild replays the WAL
+   past the manifest's applied sequence
+   (:meth:`~repro.ingest.streaming.StreamingIndex.recover`); the live
+   log is **pinned** (:meth:`~repro.ingest.wal.WriteAheadLog.pin`) for
+   the duration so a flush committing mid-rebuild cannot garbage-collect
+   the very segments the catch-up is reading — released on readmission
+   *or* abort.
+
+4. **Verified readmission.**  The rebuilt replica rejoins rotation only
+   through :meth:`~repro.cluster.router.ClusterRouter.readmit_replica`:
+   digests plus seeded probes compared bit-for-bit against a healthy
+   peer.  Divergence re-fences and raises; success force-closes the
+   replica's circuit breaker.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ClusterError
+from repro.service.snapshot import load_index
+
+from repro.cluster.node import ShardSlice
+from repro.cluster.router import ClusterRouter
+
+
+class RepairManager:
+    """Re-hydrate dead or quarantined replicas and readmit them verified."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.router = router
+        self.snapshot_dir = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+
+    # -- shard replicas --------------------------------------------------
+    def rebuild_replica(
+        self,
+        shard: int,
+        replica: int,
+        baseline: Optional[Dict[int, str]] = None,
+        probes: int = 4,
+    ) -> str:
+        """Fence → source → adopt → restore → verified readmission.
+
+        Returns a one-line detail of what happened; raises
+        :class:`ClusterError` (replica left fenced) when no trustworthy
+        source exists or the readmission verification fails.
+        """
+        node = self.router.replica(shard, replica)
+        node.fence()
+        source, how = self._source_slice(shard, replica, baseline)
+        node.adopt_slice(source)
+        node.restore()
+        verdict = self.router.readmit_replica(shard, replica, probes=probes)
+        return f"rebuilt from {how}; {verdict['detail']}"
+
+    def _source_slice(
+        self,
+        shard: int,
+        replica: int,
+        baseline: Optional[Dict[int, str]],
+    ):
+        """The freshest trustworthy copy of the shard's data, cloned."""
+        for rep in range(self.router.replication):
+            if rep == replica:
+                continue
+            peer = self.router.replica(shard, rep)
+            if not peer.ping():
+                continue
+            if baseline is not None:
+                if peer.slice.content_digests() != baseline:
+                    continue
+            return peer.slice.clone(), f"peer {peer.name}"
+        slice_ = self._snapshot_slice(shard, baseline)
+        if slice_ is not None:
+            return slice_, "snapshot"
+        raise ClusterError(
+            f"no rebuild source for shard {shard}: no healthy baseline peer "
+            "and no snapshot directory configured"
+        )
+
+    def _snapshot_slice(
+        self, shard: int, baseline: Optional[Dict[int, str]]
+    ) -> Optional[ShardSlice]:
+        if self.snapshot_dir is None:
+            return None
+        manifest_path = self.snapshot_dir / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ClusterError(
+                f"unreadable cluster manifest at {manifest_path}: {exc}"
+            ) from None
+        entry = next(
+            (e for e in manifest.get("shards", ()) if e["shard"] == shard),
+            None,
+        )
+        if entry is None:
+            raise ClusterError(
+                f"snapshot manifest at {manifest_path} has no shard {shard}"
+            )
+        slice_ = load_index(self.snapshot_dir / entry["file"])
+        if not isinstance(slice_, ShardSlice):
+            raise ClusterError(
+                f"{entry['file']} is not a shard slice snapshot"
+            )
+        planned = set(self.router.plan.fragments_of(shard))
+        if set(slice_.owned_fragments) != planned:
+            raise ClusterError(
+                f"snapshot for shard {shard} owns "
+                f"{sorted(slice_.owned_fragments)} but the live plan assigns "
+                f"{sorted(planned)} — the snapshot predates a migration; "
+                "resave the cluster"
+            )
+        if baseline is not None:
+            digests = slice_.content_digests()
+            if digests != baseline:
+                bad = sorted(
+                    v for v in set(digests) | set(baseline)
+                    if digests.get(v) != baseline.get(v)
+                )
+                raise ClusterError(
+                    f"snapshot for shard {shard} diverges from the cluster "
+                    f"baseline on fragments {bad} — stale or damaged snapshot"
+                )
+        return slice_
+
+    # -- the ingest tier -------------------------------------------------
+    def rebuild_ingest(self) -> str:
+        """Recover the streaming tier from its own DFS, WAL pinned.
+
+        The failed :class:`~repro.cluster.node.IngestNode` keeps its DFS
+        root (manifest + segments + WAL) — only the in-memory tier died.
+        We fence the node, pin the live WAL so concurrent flush GC cannot
+        reclaim the catch-up segments, run
+        :meth:`~repro.ingest.streaming.StreamingIndex.recover` against
+        the same DFS, check the recovered global order is rank-compatible
+        with the router's (extending it with any tokens the router's
+        order gained after the last flush), then swap the recovered tier
+        in and unfence.  The pin is released on success *and* failure.
+        """
+        from repro.ingest.streaming import StreamingIndex
+
+        ingest = self.router.ingest
+        if ingest is None:
+            raise ClusterError("no ingest tier attached; nothing to rebuild")
+        streaming = ingest.streaming
+        ingest.fence()
+        pin_id = streaming.wal.pin(streaming._wal_applied_seq)
+        try:
+            recovered = StreamingIndex.recover(
+                streaming.dfs,
+                streaming.root,
+                config=streaming.config,
+                tracer=streaming.tracer,
+                counters=streaming.counters,
+            )
+            self._align_order(recovered)
+            ingest.streaming = recovered
+            ingest.restore()
+            ingest.unfence()
+            return (
+                f"recovered {len(recovered)} records, "
+                f"manifest v{recovered.manifest_version}"
+            )
+        except ClusterError:
+            raise
+        except Exception as exc:
+            raise ClusterError(f"ingest recovery failed: {exc}") from exc
+        finally:
+            streaming.wal.release(pin_id)
+
+    def _align_order(self, recovered) -> None:
+        """Fail closed unless the recovered order encodes like the router's.
+
+        Ranks are append-only (``GlobalOrder.extend``), so compatibility
+        means the shorter order is a strict prefix of the longer.  The
+        recovered order may trail the router's (tokens first seen after
+        the last flush live only in the shared in-memory order) — those
+        are re-appended so future encodes agree on every rank.
+        """
+        mine = self.router.order
+        theirs = recovered.order
+        if theirs is mine:
+            return
+        common = min(mine.vocab_size, theirs.vocab_size)
+        for rank in range(common):
+            if mine.token(rank) != theirs.token(rank):
+                raise ClusterError(
+                    f"recovered ingest order diverges from the router's at "
+                    f"rank {rank} ({theirs.token(rank)!r} vs "
+                    f"{mine.token(rank)!r}) — refusing to readmit"
+                )
+        if theirs.vocab_size > mine.vocab_size:
+            raise ClusterError(
+                "recovered ingest order knows tokens the router's does not "
+                "— refusing to readmit"
+            )
+        # Re-append the trailing tokens one at a time, in the router's
+        # rank order — a bulk extend would re-sort them by (freq, token)
+        # and could assign different ranks than the router's sequence of
+        # per-batch extends did.
+        for rank in range(theirs.vocab_size, mine.vocab_size):
+            theirs.extend([(mine.token(rank), mine.frequency_of_rank(rank))])

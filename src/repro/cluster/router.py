@@ -78,6 +78,7 @@ from repro.errors import (
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import ExecutorKind, create_executor
+from repro.mapreduce.shuffle import stable_hash
 from repro.observability.histogram import LatencyHistogram
 from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.service.index import EncodedQuery, SearchHit
@@ -210,6 +211,10 @@ class ClusterRouter:
         self._base_rids: frozenset = frozenset()
         #: local component of :attr:`index_epoch` (bumped per write batch).
         self._epoch = 0
+        #: the self-healing control plane, once one attaches (see
+        #: :class:`repro.cluster.health.ControlPlane`); ``None`` means the
+        #: cluster is fail-over-only, exactly as before.
+        self.control = None
 
     # -- introspection -------------------------------------------------
     @property
@@ -238,6 +243,155 @@ class ClusterRouter:
             [breaker.state.value for breaker in group]
             for group in self._breakers
         ]
+
+    # -- verified readmission -------------------------------------------
+    def _healthy_peer(self, shard: int, exclude_replica: int
+                      ) -> Optional[ShardNode]:
+        """A serving replica of ``shard`` other than ``exclude_replica``."""
+        for rep, node in enumerate(self._groups[shard]):
+            if rep != exclude_replica and node.ping():
+                return node
+        return None
+
+    def verify_replica(self, shard: int, replica: int,
+                       probes: int = 4) -> Dict[str, object]:
+        """Compare a replica's content against a healthy peer, bit for bit.
+
+        Two checks, both exact: (1) per-fragment content digests (skipped
+        when the replicas share one slice object — nothing to diverge);
+        (2) ``probes`` seeded probe queries per theta in (0.5, 0.8) under
+        jaccard, answered by both slices and compared as full hit lists.
+        Returns ``{"ok": bool, "detail": str}``; with no healthy peer the
+        check degrades to a self-probe smoke test and says so in the
+        detail — a replication=1 cluster can still restore manually.
+        """
+        node = self._groups[shard][replica]
+        peer = self._healthy_peer(shard, replica)
+        if peer is None:
+            try:
+                rids = sorted(node.slice.rids())
+                if rids:
+                    rid = rids[stable_hash(("verify", shard, replica))
+                               % len(rids)]
+                    query = EncodedQuery(tuple(node.slice._ranks[rid]), 0)
+                    node.slice.probe_encoded(
+                        query, 0.5, SimilarityFunction.JACCARD, self.filters
+                    )
+            except Exception as exc:  # pragma: no cover - defensive
+                return {"ok": False, "detail": f"self-check failed: {exc}"}
+            return {"ok": True, "detail": "no healthy peer; self-check only"}
+        if peer.slice is not node.slice:
+            mine = node.slice.content_digests()
+            theirs = peer.slice.content_digests()
+            if mine != theirs:
+                bad = sorted(
+                    v for v in set(mine) | set(theirs)
+                    if mine.get(v) != theirs.get(v)
+                )
+                return {
+                    "ok": False,
+                    "detail": f"fragment digests diverge: {bad}",
+                }
+        rids = sorted(peer.slice.rids())
+        for i in range(probes):
+            if not rids:
+                break
+            rid = rids[stable_hash(("verify", shard, replica, i)) % len(rids)]
+            query = EncodedQuery(tuple(peer.slice._ranks[rid]), 0)
+            for theta in (0.5, 0.8):
+                expected = peer.slice.probe_encoded(
+                    query, theta, SimilarityFunction.JACCARD, self.filters
+                )
+                got = node.slice.probe_encoded(
+                    query, theta, SimilarityFunction.JACCARD, self.filters
+                )
+                if got != expected:
+                    return {
+                        "ok": False,
+                        "detail": (
+                            f"probe rid={rid} theta={theta} diverges "
+                            f"({len(got)} vs {len(expected)} hits)"
+                        ),
+                    }
+        return {"ok": True, "detail": f"digests + {probes} probes match"}
+
+    def readmit_replica(self, shard: int, replica: int,
+                        probes: int = 4) -> Dict[str, object]:
+        """Unfence a replica iff verification passes; close its breaker.
+
+        The only door back into rotation: on a verification failure the
+        replica is re-fenced and a :class:`ClusterError` raised, so a
+        divergent rebuild can never serve.  On success the breaker is
+        force-closed (the verification *is* the trial probe) and a
+        ``phase="recovery"`` span (``action="readmit"``) is emitted.
+        """
+        node = self._groups[shard][replica]
+        was_fenced = node.fenced
+        node.unfence()
+        verdict = self.verify_replica(shard, replica, probes=probes)
+        if not verdict["ok"]:
+            node.fence()
+            raise ClusterError(
+                f"readmission refused for {node.name}: {verdict['detail']}"
+            )
+        self._breakers[shard][replica].reset()
+        self.metrics.increment(ROUTE_GROUP, "readmissions")
+        self.tracer.add(
+            f"readmit:{node.name}", "recovery",
+            start=time.perf_counter(), duration=0.0,
+            action="readmit", shard=shard, replica=replica,
+            was_fenced=was_fenced, detail=str(verdict["detail"]),
+        )
+        return verdict
+
+    def restore_replica(self, shard: int, replica: int,
+                        probes: int = 4) -> Dict[str, object]:
+        """Manual restore done right: revive *and* verifiably readmit.
+
+        ``ShardNode.restore()`` alone flips the liveness flag but leaves
+        the circuit breaker open, so the replica stays skipped until the
+        breaker's cooldown — and nothing ever checks its content.  This
+        path restores, then runs the same verified readmission as the
+        automatic rebuild: verify against a healthy peer, close the
+        breaker, emit the recovery span.
+        """
+        node = self._groups[shard][replica]
+        node.restore()
+        return self.readmit_replica(shard, replica, probes=probes)
+
+    def health_summary(self) -> Dict[str, object]:
+        """Per-replica health/breaker/fencing plus control-plane state.
+
+        JSON-safe; the ``replicas`` matrix rows are shards, and each cell
+        reports what the router *and* (when one is attached) the control
+        plane believe about that replica.
+        """
+        plane = self.control
+        states = plane.replica_states() if plane is not None else None
+        replicas: List[List[Dict[str, object]]] = []
+        for shard, group in enumerate(self._groups):
+            row = []
+            for rep, node in enumerate(group):
+                cell: Dict[str, object] = {
+                    "alive": node.alive,
+                    "fenced": node.fenced,
+                    "serving": node.ping(),
+                    "breaker": self._breakers[shard][rep].state.value,
+                }
+                if states is not None:
+                    cell["state"] = states[shard][rep]
+                row.append(cell)
+            replicas.append(row)
+        summary: Dict[str, object] = {"replicas": replicas}
+        if self._ingest is not None:
+            summary["ingest"] = {
+                "alive": self._ingest.alive,
+                "fenced": self._ingest.fenced,
+                "serving": self._ingest.ping(),
+            }
+        if plane is not None:
+            summary.update(plane.summary())
+        return summary
 
     def fragment_heat(self) -> Dict[int, int]:
         """Observed per-fragment probe counts since start (or last reset)."""
@@ -365,6 +519,7 @@ class ClusterRouter:
             "heat_max_over_mean": round(report.max_over_mean, 4),
             "health": self.health_check(),
             "breakers": self.breaker_states(),
+            "self_heal": self.health_summary(),
             "route": self.metrics.group(ROUTE_GROUP),
             "storage": self.storage_stats(),
             "ingest": (

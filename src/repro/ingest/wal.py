@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.records import Record
 from repro.errors import WALError
@@ -104,6 +104,10 @@ class WriteAheadLog:
         self._segment = 0
         self._entries_in_segment = 0
         self._appended_batches = 0
+        #: pin id → lowest sequence number the pin still needs (entries
+        #: *beyond* that seq are protected from truncation).
+        self._pins: Dict[int, int] = {}
+        self._next_pin = 0
 
     @property
     def last_seq(self) -> int:
@@ -251,6 +255,32 @@ class WriteAheadLog:
             return None
         return seq, kind, batch_id, payload
 
+    # -- segment pinning -----------------------------------------------
+    def pin(self, after_seq: int) -> int:
+        """Hold every entry beyond ``after_seq`` against garbage collection.
+
+        A rebuild catching a replica up from a snapshot needs to replay
+        WAL entries past the snapshot's applied sequence; without a pin, a
+        flush committing *during* the catch-up would
+        :meth:`truncate_through` those very segments out from under it.
+        Returns a pin id for :meth:`release` — released on readmission or
+        abort, never leaked by a crashed rebuild (pins are in-memory; a
+        restarted writer starts unpinned).
+        """
+        pin_id = self._next_pin
+        self._next_pin += 1
+        self._pins[pin_id] = after_seq
+        return pin_id
+
+    def release(self, pin_id: int) -> None:
+        """Drop one pin; unknown/already-released ids are a no-op."""
+        self._pins.pop(pin_id, None)
+
+    def pinned_through(self) -> Optional[int]:
+        """The lowest sequence number any live pin still protects beyond
+        (``None`` when nothing is pinned)."""
+        return min(self._pins.values()) if self._pins else None
+
     # -- maintenance ---------------------------------------------------
     def truncate_through(self, applied_seq: int) -> int:
         """Drop segments fully covered by ``applied_seq``; returns the count.
@@ -258,8 +288,13 @@ class WriteAheadLog:
         Pure garbage collection: replay already skips entries at or below
         the manifest's ``wal_applied_seq``, so deleting them only reclaims
         space.  A segment is kept if any entry in it is newer than
-        ``applied_seq`` or fails to parse (damage stays visible).
+        ``applied_seq`` or fails to parse (damage stays visible) — or
+        newer than the lowest live :meth:`pin` (an in-flight rebuild still
+        needs it for catch-up).
         """
+        floor = self.pinned_through()
+        if floor is not None and floor < applied_seq:
+            applied_seq = floor
         dropped = 0
         for path in self.segment_paths():
             entries = self.dfs.read(path)
@@ -287,4 +322,5 @@ class WriteAheadLog:
             "next_seq": self._next_seq,
             "next_batch": self._next_batch,
             "appended_batches": self._appended_batches,
+            "pins": len(self._pins),
         }

@@ -455,10 +455,17 @@ class GatewayServer:
 
     def status(self) -> Dict:
         """One JSON-safe snapshot: net counters, per-connection latency,
-        and the gateway's own stats underneath."""
-        return {
+        the gateway's own stats, and — so a remote ``status`` frame shows
+        cluster health without shell access to the server — the router's
+        per-replica health/breaker/fencing summary (control-plane state
+        included when one is attached)."""
+        status = {
             "net": self.metrics.group(NET_GROUP),
             "draining": self._draining,
             "connections": self.connection_latency_info(),
             "gateway": self.gateway.stats(),
         }
+        router = getattr(self.gateway, "router", None)
+        if router is not None and hasattr(router, "health_summary"):
+            status["self_heal"] = router.health_summary()
+        return status

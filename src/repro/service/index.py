@@ -309,6 +309,39 @@ class SegmentIndex:
             ),
         }
 
+    def fragment_digest(self, fragment: int) -> str:
+        """Canonical sha256 of one fragment's *content*.
+
+        Hashed over the fragment's posting runs in sorted token order plus
+        the id column and segment bounds of every record posting in it —
+        not over pickle bytes — so two indexes that answer identically
+        digest identically, however they were built, and any silent
+        mutation of a posting column, a rank array or the bounds flips the
+        digest.  This is what the cluster's anti-entropy scrubber compares
+        across replicas of a shard.
+        """
+        import hashlib
+
+        postings = self._postings[fragment]
+        if postings._pending:
+            postings.seal()
+        hasher = hashlib.sha256()
+        runs = postings.to_dict()
+        for token in sorted(runs):
+            hasher.update(
+                repr((token, sorted(runs[token]))).encode("utf-8")
+            )
+        for rid in sorted(set(postings.rids)):
+            hasher.update(
+                repr((rid, tuple(self._ranks[rid]),
+                      tuple(self._segbounds[rid]))).encode("utf-8")
+            )
+        return hasher.hexdigest()
+
+    def content_digests(self) -> Dict[int, str]:
+        """Per-fragment content digests (see :meth:`fragment_digest`)."""
+        return {v: self.fragment_digest(v) for v in range(self.n_fragments)}
+
     # -- probing -------------------------------------------------------
     def encode_query(self, tokens: Iterable[str]) -> EncodedQuery:
         """Canonicalize probe tokens: dedupe, intern, count unknowns."""

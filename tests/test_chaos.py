@@ -18,6 +18,7 @@ from repro.chaos import (
     FaultInjector,
     FaultSchedule,
     run_cluster_scenario,
+    run_heal_scenario,
     run_ingest_scenario,
     run_join_scenario,
     run_net_scenario,
@@ -288,6 +289,41 @@ class TestScenarios:
         assert (report.detail["stalls_dropped"]
                 == report.detail["stalls_injected"])
 
+    def test_heal_scenario_self_heals(self):
+        tracer = Tracer()
+        report = run_heal_scenario(7, tracer=tracer)
+        assert report.ok
+        assert report.matched
+        # A hard kill plus a silent rot, both repaired, zero wrong answers.
+        assert report.faults.get("replica-kill") == 1
+        assert report.faults.get("replica-rot") == 1
+        assert report.detail["mismatches"] == 0
+        assert report.detail["full_replication"]
+        assert report.detail["rebuilds"] >= 2
+        assert report.detail["quarantines"] >= 1
+        # No operator action: every rebuild came from the control plane.
+        kinds = {event[1] for event in report.detail["health_events"]}
+        assert {"dead", "quarantine", "rebuild-start", "readmit"} <= kinds
+        # The trace shows the repair, not just the damage.
+        actions = {
+            span.attrs.get("action")
+            for span in tracer.spans() if span.phase == "recovery"
+        }
+        assert "quarantine" in actions
+        assert "replica-rebuild" in actions
+        assert "readmit" in actions
+        assert any(span.phase == "health" for span in tracer.spans())
+
+    def test_heal_scenario_replay_is_identical(self):
+        a = run_heal_scenario(11)
+        b = run_heal_scenario(11)
+        assert a.matched and b.matched
+        # Same seed -> identical fault log and health event log (the
+        # acceptance bar: two runs, byte-identical repair history).
+        assert a.faults == b.faults
+        assert a.detail == b.detail
+        assert a.as_dict() == b.as_dict()
+
     def test_net_scenario_replay_is_identical(self):
         a = run_net_scenario(11)
         b = run_net_scenario(11)
@@ -319,7 +355,7 @@ class TestScenarios:
         tracer = Tracer()
         report = run_recovery_report(5, tracer=tracer)
         assert [s.scenario for s in report.scenarios] == [
-            "join", "cluster", "search", "ingest", "gateway", "net",
+            "join", "cluster", "search", "ingest", "gateway", "net", "heal",
         ]
         assert report.ok
         assert report.total_faults() > 0
